@@ -1,0 +1,131 @@
+// Ablation C: Z-order vs the other layouts the literature compares
+// against — array order (control), tiled/blocked (Pascucci & Frank's "3D
+// blocking"), and Hilbert (Reissmann et al. 2014).
+//
+// Two workloads, both in their against-the-grain configuration where
+// layout matters most:
+//   * bilateral r3, pz pencils, zyx order;
+//   * volume rendering at orbit viewpoint 2 (rays along z).
+// Reported per layout: modeled memory-stall cycles and private-stack
+// escapes, normalized to array order (value < 1 = better than array
+// order), plus the native wall time, which for Hilbert includes its
+// per-access index cost — the trade-off Reissmann et al. observed.
+#include "common.hpp"
+#include "sfcvis/filters/bilateral.hpp"
+#include "sfcvis/render/raycast.hpp"
+
+namespace {
+
+using namespace sfcvis;
+
+struct Metrics {
+  double native_seconds = 0;
+  double modeled_cycles = 0;
+  double escapes = 0;
+};
+
+template <core::Layout3D L>
+Metrics measure_bilateral(const core::Grid3D<float, L>& volume,
+                          const memsim::PlatformSpec& platform, unsigned nthreads,
+                          std::size_t trace_items, unsigned reps) {
+  const filters::BilateralParams params{3, 1.5f, 0.1f, filters::PencilAxis::kZ,
+                                        filters::LoopOrder::kZYX};
+  core::Grid3D<float, core::ArrayOrderLayout> dst(volume.extents());
+  threads::Pool pool(nthreads);
+  Metrics m;
+  m.native_seconds = bench_util::min_time_of(
+      reps, [&] { filters::bilateral_parallel(volume, dst, params, pool); });
+  memsim::Hierarchy hierarchy(platform, nthreads);
+  filters::bilateral_traced(volume, dst, params, hierarchy, trace_items);
+  m.modeled_cycles = static_cast<double>(hierarchy.modeled_cycles_max());
+  m.escapes = static_cast<double>(hierarchy.counter("L2_DATA_READ_MISS_MEM_FILL"));
+  return m;
+}
+
+template <core::Layout3D L>
+Metrics measure_volrend(const core::Grid3D<float, L>& volume,
+                        const memsim::PlatformSpec& platform, unsigned nthreads,
+                        std::uint32_t image, std::uint32_t trace_image, unsigned reps) {
+  const auto tf = render::TransferFunction::flame();
+  const auto fsize = static_cast<float>(volume.extents().nx);
+  const auto camera = render::orbit_camera(2, 8, fsize, fsize, fsize);
+  threads::Pool pool(nthreads);
+  Metrics m;
+  const render::RenderConfig native_config{image, image, 32, 0.5f, 0.98f};
+  m.native_seconds = bench_util::min_time_of(reps, [&] {
+    (void)render::raycast_parallel(volume, camera, tf, native_config, pool);
+  });
+  const render::RenderConfig trace_config{trace_image, trace_image, 16, 0.5f, 0.98f};
+  memsim::Hierarchy hierarchy(platform, nthreads);
+  (void)render::raycast_traced(volume, camera, tf, trace_config, hierarchy);
+  m.modeled_cycles = static_cast<double>(hierarchy.modeled_cycles_max());
+  m.escapes = static_cast<double>(hierarchy.counter("L2_DATA_READ_MISS_MEM_FILL"));
+  return m;
+}
+
+void emit(const char* workload, const std::vector<std::pair<std::string, Metrics>>& results,
+          const bench_util::Options& opts, const std::string& csv) {
+  bench_util::ResultTable table(
+      std::string(workload) + "  [normalized to array-order; < 1.00 = better]",
+      {"native runtime", "modeled cycles", "L2 escapes"},
+      [&] {
+        std::vector<std::string> labels;
+        for (const auto& r : results) {
+          labels.push_back(r.first);
+        }
+        return labels;
+      }());
+  const Metrics& base = results.front().second;
+  for (std::size_t c = 0; c < results.size(); ++c) {
+    table.set(0, c, results[c].second.native_seconds / base.native_seconds);
+    table.set(1, c, results[c].second.modeled_cycles / base.modeled_cycles);
+    table.set(2, c, results[c].second.escapes / base.escapes);
+  }
+  sfcvis::bench::emit_table(table, opts, csv);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench_util::Options opts(argc, argv);
+  const bool quick = opts.get_flag("quick");
+  const std::uint32_t size = opts.get_u32("size", quick ? 24 : 48);
+  const unsigned nthreads = opts.get_u32("threads", 4);
+  const unsigned reps = opts.get_u32("reps", 1);
+  const std::uint32_t cache_scale = opts.get_u32("cache-scale", 16);
+  const std::size_t trace_items = opts.get_u32("trace-items", quick ? 64 : 256);
+  const std::uint32_t image = opts.get_u32("image", quick ? 48 : 128);
+  const std::uint32_t trace_image = opts.get_u32("trace-image", quick ? 32 : 64);
+
+  const auto platform = memsim::scaled(memsim::ivybridge(), cache_scale);
+  sfcvis::bench::print_preamble("Ablation C: layout comparison (A / Z / tiled / Hilbert)",
+                                size, platform);
+
+  const core::Extents3D e = core::Extents3D::cube(size);
+  core::Grid3D<float, core::ArrayOrderLayout> mri_a(e);
+  data::fill_mri_phantom(mri_a);
+  const auto mri_z = core::convert_layout<core::ZOrderLayout>(mri_a);
+  const auto mri_t = core::convert_layout<core::TiledLayout>(mri_a);
+  const auto mri_h = core::convert_layout<core::HilbertLayout>(mri_a);
+
+  emit("bilateral r3 pz zyx",
+       {{"array", measure_bilateral(mri_a, platform, nthreads, trace_items, reps)},
+        {"z-order", measure_bilateral(mri_z, platform, nthreads, trace_items, reps)},
+        {"tiled 8^3", measure_bilateral(mri_t, platform, nthreads, trace_items, reps)},
+        {"hilbert", measure_bilateral(mri_h, platform, nthreads, trace_items, reps)}},
+       opts, "abl_layout_bilateral.csv");
+
+  core::Grid3D<float, core::ArrayOrderLayout> comb_a(e);
+  data::fill_combustion(comb_a);
+  const auto comb_z = core::convert_layout<core::ZOrderLayout>(comb_a);
+  const auto comb_t = core::convert_layout<core::TiledLayout>(comb_a);
+  const auto comb_h = core::convert_layout<core::HilbertLayout>(comb_a);
+
+  emit("volrend viewpoint 2",
+       {{"array", measure_volrend(comb_a, platform, nthreads, image, trace_image, reps)},
+        {"z-order", measure_volrend(comb_z, platform, nthreads, image, trace_image, reps)},
+        {"tiled 8^3", measure_volrend(comb_t, platform, nthreads, image, trace_image, reps)},
+        {"hilbert", measure_volrend(comb_h, platform, nthreads, image, trace_image, reps)}},
+       opts, "abl_layout_volrend.csv");
+  return 0;
+}

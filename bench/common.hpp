@@ -1,0 +1,95 @@
+// Shared harness code for the per-figure bench binaries.
+//
+// Every binary accepts the same core knobs:
+//   --size=N          volume edge length (default per figure; paper: 512)
+//   --threads=a,b,c   concurrency sweep (defaults match the paper's)
+//   --reps=N          timing repetitions (min-of-N)
+//   --cache-scale=N   divide modeled cache capacities by N (see DESIGN.md:
+//                     keeps the paper's cache:working-set ratio at small
+//                     volume sizes)
+//   --trace-items=N   replay prefix length for counter runs
+//   --csv-dir=PATH    also write each table as CSV
+//   --quick           shrink everything for a smoke run
+//
+// Output: the same tables as the paper's figures — scaled relative
+// differences (Eq. 4), positive = Z-order better.
+#pragma once
+
+#include <cstdio>
+#include <optional>
+#include <string>
+
+#include "sfcvis/bench_util/options.hpp"
+#include "sfcvis/bench_util/stats.hpp"
+#include "sfcvis/bench_util/table.hpp"
+#include "sfcvis/core/grid.hpp"
+#include "sfcvis/core/layout.hpp"
+#include "sfcvis/data/combustion.hpp"
+#include "sfcvis/data/phantom.hpp"
+#include "sfcvis/memsim/platforms.hpp"
+#include "sfcvis/perfmon/perf_events.hpp"
+
+namespace sfcvis::bench {
+
+/// A pair of identical-content volumes in the two layouts under study.
+struct VolumePair {
+  core::Grid3D<float, core::ArrayOrderLayout> array;
+  core::Grid3D<float, core::ZOrderLayout> z;
+};
+
+/// MRI-phantom pair (bilateral-filter input; stands in for the paper's
+/// UC Davis MRI dataset).
+inline VolumePair make_mri_pair(std::uint32_t size) {
+  VolumePair pair{core::Grid3D<float, core::ArrayOrderLayout>(core::Extents3D::cube(size)),
+                  core::Grid3D<float, core::ZOrderLayout>(core::Extents3D::cube(size))};
+  data::fill_mri_phantom(pair.array);
+  pair.z.copy_from(pair.array);
+  return pair;
+}
+
+/// Combustion-field pair (raycaster input; stands in for the paper's
+/// combustion-simulation dataset).
+inline VolumePair make_combustion_pair(std::uint32_t size) {
+  VolumePair pair{core::Grid3D<float, core::ArrayOrderLayout>(core::Extents3D::cube(size)),
+                  core::Grid3D<float, core::ZOrderLayout>(core::Extents3D::cube(size))};
+  data::fill_combustion(pair.array);
+  pair.z.copy_from(pair.array);
+  return pair;
+}
+
+/// Prints one figure table and optionally mirrors it to CSV.
+inline void emit_table(const bench_util::ResultTable& table,
+                       const bench_util::Options& opts, const std::string& csv_name,
+                       int precision = 2) {
+  std::fputs(table.to_text(precision).c_str(), stdout);
+  std::fputs("\n", stdout);
+  const std::string dir = opts.get_string("csv-dir", "");
+  if (!dir.empty()) {
+    table.write_csv(std::filesystem::path(dir) / csv_name);
+    std::printf("  [csv] %s/%s\n\n", dir.c_str(), csv_name.c_str());
+  }
+}
+
+/// Standard preamble: echoes the effective configuration and whether
+/// hardware counters are available (they are reported alongside the memsim
+/// counters when they are).
+inline void print_preamble(const char* figure, std::uint32_t size,
+                           const memsim::PlatformSpec& spec) {
+  std::printf("== %s ==\n", figure);
+  std::printf("volume: %u^3 float  |  modeled platform: %s (", size, spec.name.c_str());
+  for (std::size_t l = 0; l < spec.private_levels.size(); ++l) {
+    std::printf("%s%s %lluKB", l ? ", " : "", spec.private_levels[l].name.c_str(),
+                static_cast<unsigned long long>(spec.private_levels[l].size_bytes / 1024));
+  }
+  if (spec.shared_llc) {
+    std::printf(", shared %s %lluKB", spec.shared_llc->name.c_str(),
+                static_cast<unsigned long long>(spec.shared_llc->size_bytes / 1024));
+  }
+  std::printf(")\n");
+  std::printf("hardware counters: %s\n\n",
+              perfmon::PerfCounter::available()
+                  ? "available (reported as extra columns)"
+                  : "unavailable here; using memsim counters (see DESIGN.md)");
+}
+
+}  // namespace sfcvis::bench

@@ -1,0 +1,20 @@
+// Regenerates the paper's Fig. 2: bilateral3d on the Ivy Bridge platform —
+// scaled relative differences of runtime and total L3 cache accesses
+// (PAPI_L3_TCA), rows r1/r3/r5 x {px xyz, pz zyx}, concurrency
+// {2,4,6,8,10,12,18,24}.
+//
+// Expected shape (paper): ds(runtime) slightly negative only for r1 px
+// xyz; strongly positive for every pz zyx row; ds(L3_TCA) negative for
+// r1 px xyz and very large (tens of x) for r3/r5.
+#include "bilateral_figure.hpp"
+
+int main(int argc, char** argv) {
+  const sfcvis::bench::BilateralFigure figure{
+      .figure = "Fig. 2: bilateral3d, Ivy Bridge (paper: 512^3, Edison node)",
+      .platform = "ivybridge",
+      .counter = "PAPI_L3_TCA",
+      .default_threads = {2, 4, 6, 8, 10, 12, 18, 24},
+      .default_cache_scale = 64,
+  };
+  return sfcvis::bench::run_bilateral_figure(figure, argc, argv);
+}

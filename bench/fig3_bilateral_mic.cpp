@@ -1,0 +1,22 @@
+// Regenerates the paper's Fig. 3: bilateral3d on the MIC (Knights Corner)
+// platform — scaled relative differences of runtime and
+// L2_DATA_READ_MISS_MEM_FILL, concurrency {59,118,177,236} (59 usable
+// cores x up to 4 hardware threads).
+//
+// Expected shape (paper): Z-order faster in all but ~one small-stencil
+// configuration; the miss-count differences grow strongly with stencil
+// size and are largest for r5 pz zyx.
+#include "bilateral_figure.hpp"
+
+int main(int argc, char** argv) {
+  const sfcvis::bench::BilateralFigure figure{
+      .figure = "Fig. 3: bilateral3d, Intel MIC/KNC (paper: Babbage 5110P)",
+      .platform = "mic",
+      .counter = "L2_DATA_READ_MISS_MEM_FILL",
+      .default_threads = {59, 118, 177, 236},
+      .default_cache_scale = 64,
+      .default_trace_items = 472,  // 2 full round-robin rounds at 236 threads
+      .cores = 59,
+  };
+  return sfcvis::bench::run_bilateral_figure(figure, argc, argv);
+}

@@ -1,0 +1,17 @@
+// Regenerates the paper's Fig. 4: absolute runtime and PAPI_L3_TCA per
+// orbit viewpoint for array-order vs Z-order, Ivy Bridge platform.
+//
+// Expected shape (paper): the a-order series is lowest at viewpoints 0 and
+// 4 (rays aligned with memory) and rises in between; the z-order series is
+// flat — uncorrelated with viewpoint.
+#include "volrend_figure.hpp"
+
+int main(int argc, char** argv) {
+  const sfcvis::bench::VolrendFigure figure{
+      .figure = "Fig. 4: volrend viewpoint sweep, Ivy Bridge (paper: 512^3 combustion)",
+      .platform = "ivybridge",
+      .counter = "PAPI_L3_TCA",
+      .default_threads = {},  // fixed-concurrency figure; use --threads=N
+  };
+  return sfcvis::bench::run_volrend_absolute_figure(figure, argc, argv);
+}

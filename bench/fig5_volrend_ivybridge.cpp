@@ -1,0 +1,17 @@
+// Regenerates the paper's Fig. 5: volrend on Ivy Bridge — scaled relative
+// differences of runtime and PAPI_L3_TCA; rows = 8 orbit viewpoints,
+// columns = concurrency {2,4,6,8,10,12,18,24}.
+//
+// Expected shape (paper): ds(runtime) ~ 0 at viewpoints 0 and 4, ~ +0.13
+// to +0.34 elsewhere; ds(L3_TCA) ~ +0.8 at 0/4 and ~ +3 to +4 elsewhere.
+#include "volrend_figure.hpp"
+
+int main(int argc, char** argv) {
+  const sfcvis::bench::VolrendFigure figure{
+      .figure = "Fig. 5: volrend ds tables, Ivy Bridge",
+      .platform = "ivybridge",
+      .counter = "PAPI_L3_TCA",
+      .default_threads = {2, 4, 6, 8, 10, 12, 18, 24},
+  };
+  return sfcvis::bench::run_volrend_ds_figure(figure, argc, argv);
+}

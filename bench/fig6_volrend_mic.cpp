@@ -1,0 +1,19 @@
+// Regenerates the paper's Fig. 6: volrend on the MIC platform — scaled
+// relative differences of runtime and L2_DATA_READ_MISS_MEM_FILL;
+// rows = 8 orbit viewpoints, columns = concurrency {59,118,177,236}.
+//
+// Expected shape (paper): runtime differences smallest at viewpoints 0 and
+// 4; the miss-count metric uniformly favors Z-order and is highest at the
+// lowest thread count, dropping as threads per core increase.
+#include "volrend_figure.hpp"
+
+int main(int argc, char** argv) {
+  const sfcvis::bench::VolrendFigure figure{
+      .figure = "Fig. 6: volrend ds tables, Intel MIC/KNC",
+      .platform = "mic",
+      .counter = "L2_DATA_READ_MISS_MEM_FILL",
+      .default_threads = {59, 118, 177, 236},
+      .cores = 59,
+  };
+  return sfcvis::bench::run_volrend_ds_figure(figure, argc, argv);
+}

@@ -1,0 +1,90 @@
+#include "sfcvis/bench_util/options.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace sfcvis::bench_util {
+
+Options::Options(int argc, const char* const* argv) {
+  for (int n = 1; n < argc; ++n) {
+    const std::string token = argv[n];
+    if (token.rfind("--", 0) != 0 || token.size() <= 2) {
+      throw std::invalid_argument("Options: expected --key[=value], got '" + token + "'");
+    }
+    const auto eq = token.find('=');
+    if (eq == std::string::npos) {
+      values_[token.substr(2)] = "";  // bare flag
+    } else {
+      values_[token.substr(2, eq - 2)] = token.substr(eq + 1);
+    }
+  }
+}
+
+bool Options::has(const std::string& key) const { return values_.count(key) != 0; }
+
+std::string Options::get_string(const std::string& key, const std::string& fallback) const {
+  const auto found = values_.find(key);
+  return found == values_.end() ? fallback : found->second;
+}
+
+std::uint32_t Options::get_u32(const std::string& key, std::uint32_t fallback) const {
+  const auto found = values_.find(key);
+  if (found == values_.end()) {
+    return fallback;
+  }
+  std::size_t consumed = 0;
+  const unsigned long value = std::stoul(found->second, &consumed);
+  if (consumed != found->second.size()) {
+    throw std::invalid_argument("Options: --" + key + " is not an unsigned integer");
+  }
+  return static_cast<std::uint32_t>(value);
+}
+
+double Options::get_double(const std::string& key, double fallback) const {
+  const auto found = values_.find(key);
+  if (found == values_.end()) {
+    return fallback;
+  }
+  std::size_t consumed = 0;
+  const double value = std::stod(found->second, &consumed);
+  if (consumed != found->second.size()) {
+    throw std::invalid_argument("Options: --" + key + " is not a number");
+  }
+  return value;
+}
+
+bool Options::get_flag(const std::string& key) const {
+  const auto found = values_.find(key);
+  if (found == values_.end()) {
+    return false;
+  }
+  if (!found->second.empty() && found->second != "1" && found->second != "true") {
+    throw std::invalid_argument("Options: --" + key + " is a flag; drop the value");
+  }
+  return true;
+}
+
+std::vector<std::uint32_t> Options::get_u32_list(
+    const std::string& key, const std::vector<std::uint32_t>& fallback) const {
+  const auto found = values_.find(key);
+  if (found == values_.end()) {
+    return fallback;
+  }
+  std::vector<std::uint32_t> out;
+  std::istringstream stream(found->second);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    std::size_t consumed = 0;
+    out.push_back(static_cast<std::uint32_t>(std::stoul(item, &consumed)));
+    if (consumed != item.size()) {
+      throw std::invalid_argument("Options: --" + key + " has a malformed element '" +
+                                  item + "'");
+    }
+  }
+  if (out.empty()) {
+    throw std::invalid_argument("Options: --" + key + " list is empty");
+  }
+  return out;
+}
+
+}  // namespace sfcvis::bench_util

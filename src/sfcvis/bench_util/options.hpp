@@ -1,0 +1,37 @@
+// Minimal --key=value command-line options for the bench binaries, so
+// every figure harness exposes the same knobs (--size, --threads, --reps,
+// --csv-dir, --quick) without a dependency on a CLI library.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sfcvis::bench_util {
+
+/// Parsed --key=value (or --flag) command line.
+class Options {
+ public:
+  /// Accepts "--key=value" and bare "--flag" tokens; anything else throws
+  /// std::invalid_argument (bench binaries take no positional arguments).
+  Options(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+
+  /// Typed getters with defaults; malformed values throw.
+  [[nodiscard]] std::string get_string(const std::string& key,
+                                       const std::string& fallback) const;
+  [[nodiscard]] std::uint32_t get_u32(const std::string& key, std::uint32_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& key, double fallback) const;
+  [[nodiscard]] bool get_flag(const std::string& key) const;
+
+  /// Comma-separated unsigned list, e.g. --threads=2,4,8.
+  [[nodiscard]] std::vector<std::uint32_t> get_u32_list(
+      const std::string& key, const std::vector<std::uint32_t>& fallback) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace sfcvis::bench_util

@@ -1,0 +1,50 @@
+// Measurement helpers for the benchmark harness.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <limits>
+
+namespace sfcvis::bench_util {
+
+/// The paper's Eq. 4: scaled relative difference ds = (a - z) / z, where
+/// `a` is the array-order measurement and `z` the Z-order one. Positive
+/// values mean Z-order is better (smaller); ds = 1.0 is a 100% difference.
+[[nodiscard]] constexpr double scaled_relative_difference(double a, double z) noexcept {
+  return z == 0.0 ? 0.0 : (a - z) / z;
+}
+
+/// Monotonic wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void restart() noexcept { start_ = clock::now(); }
+
+  /// Seconds since construction / last restart.
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Runs `fn` `reps` times and returns the fastest wall-clock seconds —
+/// min-of-N, the standard noise-rejection discipline for runtime reporting.
+template <class Fn>
+[[nodiscard]] double min_time_of(unsigned reps, Fn&& fn) {
+  double best = std::numeric_limits<double>::max();
+  for (unsigned r = 0; r < reps; ++r) {
+    const Timer timer;
+    fn();
+    const double elapsed = timer.seconds();
+    if (elapsed < best) {
+      best = elapsed;
+    }
+  }
+  return best;
+}
+
+}  // namespace sfcvis::bench_util

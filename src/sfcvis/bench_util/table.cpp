@@ -1,0 +1,98 @@
+#include "sfcvis/bench_util/table.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace sfcvis::bench_util {
+
+ResultTable::ResultTable(std::string title, std::vector<std::string> row_labels,
+                         std::vector<std::string> col_labels)
+    : title_(std::move(title)),
+      row_labels_(std::move(row_labels)),
+      col_labels_(std::move(col_labels)),
+      cells_(row_labels_.size() * col_labels_.size(), 0.0) {}
+
+void ResultTable::set(std::size_t row, std::size_t col, double value) {
+  if (row >= rows() || col >= cols()) {
+    throw std::out_of_range("ResultTable::set: index out of range");
+  }
+  cells_[row * cols() + col] = value;
+}
+
+double ResultTable::at(std::size_t row, std::size_t col) const {
+  if (row >= rows() || col >= cols()) {
+    throw std::out_of_range("ResultTable::at: index out of range");
+  }
+  return cells_[row * cols() + col];
+}
+
+std::string ResultTable::to_text(int precision) const {
+  // Column widths: max of label and rendered cells, padded by 2.
+  std::size_t label_width = 0;
+  for (const auto& r : row_labels_) {
+    label_width = std::max(label_width, r.size());
+  }
+  auto render = [precision](double v) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+  };
+  std::vector<std::size_t> widths(cols());
+  for (std::size_t c = 0; c < cols(); ++c) {
+    widths[c] = col_labels_[c].size();
+    for (std::size_t r = 0; r < rows(); ++r) {
+      widths[c] = std::max(widths[c], render(at(r, c)).size());
+    }
+  }
+
+  std::ostringstream os;
+  os << title_ << "\n";
+  os << std::string(label_width, ' ');
+  for (std::size_t c = 0; c < cols(); ++c) {
+    os << "  " << std::setw(static_cast<int>(widths[c])) << col_labels_[c];
+  }
+  os << "\n";
+  for (std::size_t r = 0; r < rows(); ++r) {
+    os << std::setw(static_cast<int>(label_width)) << std::left << row_labels_[r]
+       << std::right;
+    for (std::size_t c = 0; c < cols(); ++c) {
+      os << "  " << std::setw(static_cast<int>(widths[c])) << render(at(r, c));
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string ResultTable::to_csv(int precision) const {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision);
+  os << "row";
+  for (const auto& c : col_labels_) {
+    os << "," << c;
+  }
+  os << "\n";
+  for (std::size_t r = 0; r < rows(); ++r) {
+    os << row_labels_[r];
+    for (std::size_t c = 0; c < cols(); ++c) {
+      os << "," << at(r, c);
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+void ResultTable::write_csv(const std::filesystem::path& path, int precision) const {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("ResultTable::write_csv: cannot open " + path.string());
+  }
+  out << to_csv(precision);
+  if (!out) {
+    throw std::runtime_error("ResultTable::write_csv: write failed: " + path.string());
+  }
+}
+
+}  // namespace sfcvis::bench_util

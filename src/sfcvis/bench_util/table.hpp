@@ -1,0 +1,44 @@
+// Figure-style result tables: labeled rows x columns of doubles, rendered
+// as aligned text (the shape of the paper's Figs. 2, 3, 5, 6) and as CSV
+// for downstream plotting.
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace sfcvis::bench_util {
+
+/// A labeled 2D table of measurements.
+class ResultTable {
+ public:
+  ResultTable(std::string title, std::vector<std::string> row_labels,
+              std::vector<std::string> col_labels);
+
+  /// Sets cell (row, col); throws std::out_of_range on bad indices.
+  void set(std::size_t row, std::size_t col, double value);
+
+  [[nodiscard]] double at(std::size_t row, std::size_t col) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return row_labels_.size(); }
+  [[nodiscard]] std::size_t cols() const noexcept { return col_labels_.size(); }
+  [[nodiscard]] const std::string& title() const noexcept { return title_; }
+
+  /// Aligned fixed-point text rendering (`precision` fractional digits).
+  [[nodiscard]] std::string to_text(int precision = 2) const;
+
+  /// CSV rendering: header row of column labels, one line per row.
+  [[nodiscard]] std::string to_csv(int precision = 6) const;
+
+  /// Writes to_csv() to `path`; throws std::runtime_error on IO failure.
+  void write_csv(const std::filesystem::path& path, int precision = 6) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> row_labels_;
+  std::vector<std::string> col_labels_;
+  std::vector<double> cells_;
+};
+
+}  // namespace sfcvis::bench_util

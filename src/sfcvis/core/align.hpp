@@ -1,0 +1,47 @@
+// Cache-line constants and an aligned allocator for grid storage.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <limits>
+#include <new>
+
+namespace sfcvis::core {
+
+/// Cache-line size assumed throughout the library (both paper platforms —
+/// Ivy Bridge and KNC — use 64-byte lines, as does the memsim default).
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// Minimal std-compatible allocator returning storage aligned to `Align`.
+template <class T, std::size_t Align>
+class AlignedAllocator {
+ public:
+  using value_type = T;
+  static_assert((Align & (Align - 1)) == 0, "alignment must be a power of two");
+  static_assert(Align >= alignof(T));
+
+  AlignedAllocator() = default;
+  template <class U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    if (n > std::numeric_limits<std::size_t>::max() / sizeof(T)) {
+      throw std::bad_alloc();
+    }
+    void* p = ::operator new(n * sizeof(T), std::align_val_t{Align});
+    return static_cast<T*>(p);
+  }
+
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{Align});
+  }
+
+  template <class U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) { return true; }
+};
+
+}  // namespace sfcvis::core

@@ -1,0 +1,87 @@
+// Grid2D: owning 2D image container with layout-policy-controlled element
+// placement — the image counterpart of Grid3D.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+#include <vector>
+
+#include "sfcvis/core/align.hpp"
+#include "sfcvis/core/layout2d.hpp"
+
+namespace sfcvis::core {
+
+/// Owning 2D image grid; see Grid3D for the contract (64-byte aligned,
+/// padding value-initialized and never visited).
+template <class T, Layout2D LayoutT>
+class Grid2D {
+ public:
+  using value_type = T;
+  using layout_type = LayoutT;
+
+  Grid2D() = default;
+  explicit Grid2D(LayoutT layout)
+      : layout_(std::move(layout)), data_(layout_.required_capacity()) {}
+  explicit Grid2D(const Extents2D& e) : Grid2D(LayoutT(e)) {}
+
+  [[nodiscard]] T& at(std::uint32_t i, std::uint32_t j) noexcept {
+    assert(layout_.extents().contains(i, j));
+    return data_[layout_.index(i, j)];
+  }
+  [[nodiscard]] const T& at(std::uint32_t i, std::uint32_t j) const noexcept {
+    assert(layout_.extents().contains(i, j));
+    return data_[layout_.index(i, j)];
+  }
+
+  /// Border-clamped access.
+  [[nodiscard]] const T& at_clamped(std::int64_t i, std::int64_t j) const noexcept {
+    const auto& e = layout_.extents();
+    const auto ci = static_cast<std::uint32_t>(std::clamp<std::int64_t>(i, 0, e.nx - 1));
+    const auto cj = static_cast<std::uint32_t>(std::clamp<std::int64_t>(j, 0, e.ny - 1));
+    return data_[layout_.index(ci, cj)];
+  }
+
+  [[nodiscard]] const LayoutT& layout() const noexcept { return layout_; }
+  [[nodiscard]] const Extents2D& extents() const noexcept { return layout_.extents(); }
+  [[nodiscard]] std::size_t size() const noexcept { return layout_.extents().size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return data_.size(); }
+  [[nodiscard]] T* data() noexcept { return data_.data(); }
+  [[nodiscard]] const T* data() const noexcept { return data_.data(); }
+
+  /// fn(i, j) over logical pixels, row-major order (layout-independent).
+  template <class Fn>
+  void for_each_index(Fn&& fn) const {
+    const auto& e = layout_.extents();
+    for (std::uint32_t j = 0; j < e.ny; ++j) {
+      for (std::uint32_t i = 0; i < e.nx; ++i) {
+        fn(i, j);
+      }
+    }
+  }
+
+  template <class Fn>
+  void fill_from(Fn&& fn) {
+    for_each_index([&](std::uint32_t i, std::uint32_t j) { at(i, j) = fn(i, j); });
+  }
+
+  template <Layout2D OtherLayoutT>
+  void copy_from(const Grid2D<T, OtherLayoutT>& other) {
+    assert(extents() == other.extents());
+    for_each_index([&](std::uint32_t i, std::uint32_t j) { at(i, j) = other.at(i, j); });
+  }
+
+ private:
+  LayoutT layout_{};
+  std::vector<T, AlignedAllocator<T, kCacheLineBytes>> data_;
+};
+
+/// Builds a grid of `DstLayoutT` with the same logical contents as `src`.
+template <Layout2D DstLayoutT, class T, Layout2D SrcLayoutT>
+[[nodiscard]] Grid2D<T, DstLayoutT> convert_layout2d(const Grid2D<T, SrcLayoutT>& src) {
+  Grid2D<T, DstLayoutT> dst{DstLayoutT(src.extents())};
+  dst.copy_from(src);
+  return dst;
+}
+
+}  // namespace sfcvis::core

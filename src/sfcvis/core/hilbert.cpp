@@ -1,0 +1,98 @@
+#include "sfcvis/core/hilbert.hpp"
+
+namespace sfcvis::core {
+namespace {
+
+// Skilling's algorithm works on the "transposed" representation: the Hilbert
+// index's bits distributed across the n coordinates, one bit-plane at a time.
+
+/// Converts axes values into transposed Hilbert form, in place.
+void axes_to_transpose(std::uint32_t (&x)[3], unsigned bits) noexcept {
+  const std::uint32_t m = 1u << (bits - 1);
+  // Inverse undo.
+  for (std::uint32_t q = m; q > 1; q >>= 1) {
+    const std::uint32_t p = q - 1;
+    for (unsigned i = 0; i < 3; ++i) {
+      if (x[i] & q) {
+        x[0] ^= p;  // invert
+      } else {
+        const std::uint32_t t = (x[0] ^ x[i]) & p;
+        x[0] ^= t;
+        x[i] ^= t;
+      }
+    }
+  }
+  // Gray encode.
+  for (unsigned i = 1; i < 3; ++i) {
+    x[i] ^= x[i - 1];
+  }
+  std::uint32_t t = 0;
+  for (std::uint32_t q = m; q > 1; q >>= 1) {
+    if (x[2] & q) {
+      t ^= q - 1;
+    }
+  }
+  for (unsigned i = 0; i < 3; ++i) {
+    x[i] ^= t;
+  }
+}
+
+/// Converts transposed Hilbert form back into axes values, in place.
+void transpose_to_axes(std::uint32_t (&x)[3], unsigned bits) noexcept {
+  const std::uint32_t n = 1u << bits;
+  // Gray decode by H ^ (H/2).
+  std::uint32_t t = x[2] >> 1;
+  for (unsigned i = 2; i > 0; --i) {
+    x[i] ^= x[i - 1];
+  }
+  x[0] ^= t;
+  // Undo excess work.
+  for (std::uint32_t q = 2; q != n; q <<= 1) {
+    const std::uint32_t p = q - 1;
+    for (unsigned i = 3; i-- > 0;) {
+      if (x[i] & q) {
+        x[0] ^= p;
+      } else {
+        const std::uint32_t t2 = (x[0] ^ x[i]) & p;
+        x[0] ^= t2;
+        x[i] ^= t2;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::uint64_t hilbert_encode_3d(std::uint32_t x, std::uint32_t y, std::uint32_t z,
+                                unsigned bits) noexcept {
+  if (bits == 0) {
+    return 0;
+  }
+  std::uint32_t t[3] = {x, y, z};
+  axes_to_transpose(t, bits);
+  // The transposed form interleaves with axis 0 most significant per plane.
+  std::uint64_t h = 0;
+  for (unsigned plane = bits; plane-- > 0;) {
+    for (unsigned axis = 0; axis < 3; ++axis) {
+      h = (h << 1) | ((t[axis] >> plane) & 1u);
+    }
+  }
+  return h;
+}
+
+Coord3D hilbert_decode_3d(std::uint64_t h, unsigned bits) noexcept {
+  if (bits == 0) {
+    return {};
+  }
+  std::uint32_t t[3] = {0, 0, 0};
+  // Bit for (plane, axis) sits at position 3*plane + (2 - axis) of h.
+  for (unsigned plane = 0; plane < bits; ++plane) {
+    for (unsigned axis = 0; axis < 3; ++axis) {
+      t[axis] |= static_cast<std::uint32_t>((h >> (3 * plane + (2 - axis))) & 1u) << plane;
+    }
+  }
+  transpose_to_axes(t, bits);
+  return Coord3D{t[0], t[1], t[2]};
+}
+
+}  // namespace sfcvis::core

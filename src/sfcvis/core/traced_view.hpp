@@ -1,0 +1,85 @@
+// Read views over a Grid3D.
+//
+// Kernels (bilateral filter, raycaster) are templated on a *view* type so a
+// single kernel implementation serves both production runs and
+// counter-collection runs:
+//
+//  * PlainView      — zero-overhead forwarding; what benchmarks time.
+//  * TracedView     — additionally reports every element read, as a byte
+//                     address, to a memory-model sink (memsim::* or any
+//                     type with `void access(std::uint64_t addr,
+//                     std::uint32_t bytes)`). This is how the library
+//                     stands in for PAPI hardware counters.
+//
+// Views are read-only: layout effects the paper measures come from reads of
+// the source volume; kernel outputs are written once, streaming, to an
+// array-order buffer in both configurations.
+#pragma once
+
+#include <cstdint>
+
+#include "sfcvis/core/grid.hpp"
+
+namespace sfcvis::core {
+
+/// A sink consuming the byte-level read trace of a kernel.
+template <class S>
+concept AccessSink = requires(S sink, std::uint64_t addr, std::uint32_t bytes) {
+  sink.access(addr, bytes);
+};
+
+/// Zero-overhead read view; simply forwards to the grid.
+template <class T, Layout3D LayoutT>
+class PlainView {
+ public:
+  explicit PlainView(const Grid3D<T, LayoutT>& grid) : grid_(&grid) {}
+
+  [[nodiscard]] const T& at(std::uint32_t i, std::uint32_t j, std::uint32_t k) const noexcept {
+    return grid_->at(i, j, k);
+  }
+  [[nodiscard]] const T& at_clamped(std::int64_t i, std::int64_t j,
+                                    std::int64_t k) const noexcept {
+    return grid_->at_clamped(i, j, k);
+  }
+  [[nodiscard]] const Extents3D& extents() const noexcept { return grid_->extents(); }
+
+ private:
+  const Grid3D<T, LayoutT>* grid_;
+};
+
+/// Read view that reports every access to an AccessSink. Addresses are the
+/// actual storage addresses, so the sink observes the true byte-level
+/// locality of the layout under test.
+template <class T, Layout3D LayoutT, AccessSink SinkT>
+class TracedView {
+ public:
+  TracedView(const Grid3D<T, LayoutT>& grid, SinkT& sink) : grid_(&grid), sink_(&sink) {}
+
+  [[nodiscard]] const T& at(std::uint32_t i, std::uint32_t j, std::uint32_t k) const {
+    const T& ref = grid_->at(i, j, k);
+    sink_->access(reinterpret_cast<std::uint64_t>(&ref), sizeof(T));
+    return ref;
+  }
+  [[nodiscard]] const T& at_clamped(std::int64_t i, std::int64_t j, std::int64_t k) const {
+    const T& ref = grid_->at_clamped(i, j, k);
+    sink_->access(reinterpret_cast<std::uint64_t>(&ref), sizeof(T));
+    return ref;
+  }
+  [[nodiscard]] const Extents3D& extents() const noexcept { return grid_->extents(); }
+
+  [[nodiscard]] SinkT& sink() const noexcept { return *sink_; }
+
+ private:
+  const Grid3D<T, LayoutT>* grid_;
+  SinkT* sink_;
+};
+
+/// A read view usable by the kernels.
+template <class V>
+concept ReadView3D = requires(const V view, std::uint32_t c, std::int64_t s) {
+  { view.at(c, c, c) };
+  { view.at_clamped(s, s, s) };
+  { view.extents() } -> std::convertible_to<Extents3D>;
+};
+
+}  // namespace sfcvis::core

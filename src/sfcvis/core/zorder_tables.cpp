@@ -1,0 +1,64 @@
+#include "sfcvis/core/zorder_tables.hpp"
+
+#include <algorithm>
+
+namespace sfcvis::core {
+
+ZOrderTables::ZOrderTables(const Extents3D& logical) {
+  validate_extents(logical);
+  padded_ = padded_pow2(logical);
+  capacity_ = padded_.size();
+
+  bits_[0] = log2_pow2(padded_.nx);
+  bits_[1] = log2_pow2(padded_.ny);
+  bits_[2] = log2_pow2(padded_.nz);
+
+  // Assign an output bit position to every (axis, bit-plane) pair: walk the
+  // bit-planes from least significant upward; at each plane the axes that
+  // still have bits left claim consecutive output slots in x, y, z order.
+  // For cubic power-of-two extents this reproduces classic Morton
+  // interleaving; for anisotropic extents the surplus high bits of the
+  // larger axes end up contiguous at the top, keeping the index space
+  // exactly px*py*pz.
+  unsigned out = 0;
+  const unsigned max_bits = std::max(bits_[0], std::max(bits_[1], bits_[2]));
+  for (unsigned plane = 0; plane < max_bits; ++plane) {
+    for (unsigned axis = 0; axis < 3; ++axis) {
+      if (plane < bits_[axis]) {
+        bitpos_[axis][plane] = out++;
+      }
+    }
+  }
+
+  auto build = [this](unsigned axis, std::uint32_t n) {
+    std::vector<std::uint64_t> tab(n);
+    for (std::uint32_t v = 0; v < n; ++v) {
+      std::uint64_t deposited = 0;
+      for (unsigned plane = 0; plane < bits_[axis]; ++plane) {
+        if ((v >> plane) & 1u) {
+          deposited |= std::uint64_t{1} << bitpos_[axis][plane];
+        }
+      }
+      tab[v] = deposited;
+    }
+    return tab;
+  };
+  xtab_ = build(0, padded_.nx);
+  ytab_ = build(1, padded_.ny);
+  ztab_ = build(2, padded_.nz);
+}
+
+Coord3D ZOrderTables::decode(std::size_t index) const noexcept {
+  Coord3D c;
+  std::uint32_t* comp[3] = {&c.i, &c.j, &c.k};
+  for (unsigned axis = 0; axis < 3; ++axis) {
+    std::uint32_t v = 0;
+    for (unsigned plane = 0; plane < bits_[axis]; ++plane) {
+      v |= static_cast<std::uint32_t>((index >> bitpos_[axis][plane]) & 1u) << plane;
+    }
+    *comp[axis] = v;
+  }
+  return c;
+}
+
+}  // namespace sfcvis::core

@@ -1,0 +1,106 @@
+#include "sfcvis/core/zquery.hpp"
+
+namespace sfcvis::core {
+namespace {
+
+/// Axis interleave mask for the axis owning bit position `pos` (pos % 3).
+constexpr std::uint64_t axis_mask(unsigned pos) noexcept {
+  switch (pos % 3) {
+    case 0:
+      return kMortonMaskX3D;
+    case 1:
+      return kMortonMaskY3D;
+    default:
+      return kMortonMaskZ3D;
+  }
+}
+
+/// Tropf-Herzog "load" operations: rewrite the bits that the axis owning
+/// `pos` contributes to `v`, at and below `pos`.
+///
+/// load_10: bit at pos := 1, lower same-axis bits := 0  (pattern "1000..")
+constexpr std::uint64_t load_10(std::uint64_t v, unsigned pos) noexcept {
+  const std::uint64_t below = axis_mask(pos) & ((std::uint64_t{1} << pos) - 1);
+  return (v & ~below) | (std::uint64_t{1} << pos);
+}
+
+/// load_01: bit at pos := 0, lower same-axis bits := 1  (pattern "0111..")
+constexpr std::uint64_t load_01(std::uint64_t v, unsigned pos) noexcept {
+  const std::uint64_t below = axis_mask(pos) & ((std::uint64_t{1} << pos) - 1);
+  return (v & ~(std::uint64_t{1} << pos)) | below;
+}
+
+}  // namespace
+
+bool morton_in_box_3d(std::uint64_t z, const Coord3D& lo, const Coord3D& hi) noexcept {
+  const auto c = morton_decode_3d(z);
+  return c.x >= lo.i && c.x <= hi.i && c.y >= lo.j && c.y <= hi.j && c.z >= lo.k &&
+         c.z <= hi.k;
+}
+
+std::uint64_t morton_bigmin_3d(std::uint64_t z, std::uint64_t zmin,
+                               std::uint64_t zmax) noexcept {
+  std::uint64_t bigmin = 0;
+  for (unsigned pos = 63; pos-- > 0;) {  // bits 62..0 (63 usable morton bits)
+    const std::uint64_t bit = std::uint64_t{1} << pos;
+    const unsigned zb = (z & bit) ? 1u : 0u;
+    const unsigned minb = (zmin & bit) ? 1u : 0u;
+    const unsigned maxb = (zmax & bit) ? 1u : 0u;
+    const unsigned code = (zb << 2) | (minb << 1) | maxb;
+    switch (code) {
+      case 0b000:
+        break;  // all zero: descend
+      case 0b001:  // z=0, min=0, max=1: split
+        bigmin = load_10(zmin, pos);
+        zmax = load_01(zmax, pos);
+        break;
+      case 0b011:  // z=0, min=1, max=1: whole remaining box above z
+        return zmin;
+      case 0b100:  // z=1, min=0, max=0: box entirely below z
+        return bigmin;
+      case 0b101:  // z=1, min=0, max=1: restrict min to the upper half
+        zmin = load_10(zmin, pos);
+        break;
+      case 0b111:
+        break;  // all one: descend
+      default:
+        // 0b010 / 0b110 would mean zmin > zmax: not a box.
+        return bigmin;
+    }
+  }
+  return bigmin;
+}
+
+std::uint64_t morton_litmax_3d(std::uint64_t z, std::uint64_t zmin,
+                               std::uint64_t zmax) noexcept {
+  std::uint64_t litmax = 0;
+  for (unsigned pos = 63; pos-- > 0;) {
+    const std::uint64_t bit = std::uint64_t{1} << pos;
+    const unsigned zb = (z & bit) ? 1u : 0u;
+    const unsigned minb = (zmin & bit) ? 1u : 0u;
+    const unsigned maxb = (zmax & bit) ? 1u : 0u;
+    const unsigned code = (zb << 2) | (minb << 1) | maxb;
+    switch (code) {
+      case 0b000:
+        break;
+      case 0b001:  // z=0, min=0, max=1: box's upper half is above z
+        zmax = load_01(zmax, pos);
+        break;
+      case 0b011:  // box entirely above z
+        return litmax;
+      case 0b100:  // z=1, min=0, max=0: whole remaining box below z
+        return zmax;
+      case 0b101:  // split: candidate is the lower half's max
+        litmax = load_01(zmax, pos);
+        zmin = load_10(zmin, pos);
+        break;
+      case 0b111:
+        break;
+      default:
+        return litmax;
+    }
+  }
+  return litmax;
+}
+
+}  // namespace sfcvis::core

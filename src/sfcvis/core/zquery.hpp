@@ -1,0 +1,89 @@
+// Range queries on the Z-order curve: the BIGMIN/LITMAX machinery of
+// Tropf & Herzog (1981) that every production Z-order index needs to skip
+// curve segments lying outside an axis-aligned query box, plus
+// curve-ordered traversal of a (possibly padded) grid built on top of it.
+//
+// Why it is here: the layouts pad non-power-of-two extents (paper Sec. V),
+// so "visit every logical voxel in storage order" — the most
+// cache-friendly sweep a kernel can make over a Z-order grid — is exactly
+// a box query for the logical extents inside the padded curve.
+#pragma once
+
+#include <cstdint>
+
+#include "sfcvis/core/extents.hpp"
+#include "sfcvis/core/morton.hpp"
+#include "sfcvis/core/zorder_tables.hpp"
+
+namespace sfcvis::core {
+
+/// True when Morton code `z` decodes to a point inside the inclusive box
+/// [lo, hi] (componentwise).
+[[nodiscard]] bool morton_in_box_3d(std::uint64_t z, const Coord3D& lo,
+                                    const Coord3D& hi) noexcept;
+
+/// BIGMIN: the smallest Morton code that is (a) strictly greater than `z`
+/// and (b) inside the box spanned by codes [zmin, zmax] (which must be the
+/// codes of the box's min and max corners). Precondition: z < zmax.
+/// Returns the in-box successor used to skip dead curve segments.
+[[nodiscard]] std::uint64_t morton_bigmin_3d(std::uint64_t z, std::uint64_t zmin,
+                                             std::uint64_t zmax) noexcept;
+
+/// LITMAX: the largest Morton code that is (a) strictly smaller than `z`
+/// and (b) inside the box [zmin, zmax]. Precondition: z > zmin. The
+/// backward-scan dual of BIGMIN.
+[[nodiscard]] std::uint64_t morton_litmax_3d(std::uint64_t z, std::uint64_t zmin,
+                                             std::uint64_t zmax) noexcept;
+
+/// Visits every lattice point of the inclusive box [lo, hi] in Z-curve
+/// order, skipping out-of-box curve segments via BIGMIN (never scanning
+/// more than one dead code per in-box run). fn receives (code, coord).
+template <class Fn>
+void for_each_morton_in_box(const Coord3D& lo, const Coord3D& hi, Fn&& fn) {
+  const std::uint64_t zmin = morton_encode_3d(lo.i, lo.j, lo.k);
+  const std::uint64_t zmax = morton_encode_3d(hi.i, hi.j, hi.k);
+  std::uint64_t z = zmin;
+  while (true) {
+    if (morton_in_box_3d(z, lo, hi)) {
+      const auto c = morton_decode_3d(z);
+      fn(z, Coord3D{c.x, c.y, c.z});
+      if (z == zmax) {
+        return;
+      }
+      ++z;
+    } else {
+      if (z >= zmax) {
+        return;
+      }
+      z = morton_bigmin_3d(z, zmin, zmax);
+    }
+  }
+}
+
+/// Visits every *logical* voxel of `extents` in Z-curve (storage) order —
+/// the padded positions are skipped, so consecutive visits touch
+/// monotonically increasing storage offsets of a ZOrderLayout grid.
+/// fn receives (i, j, k).
+template <class Fn>
+void for_each_zorder(const Extents3D& extents, Fn&& fn) {
+  // Note: valid only for cubic-pow2-equivalent interleave; the generic
+  // anisotropic ZOrderTables curve coincides with plain Morton whenever
+  // all padded extents are equal. For anisotropic extents we traverse via
+  // decode on the compact table curve instead.
+  const Extents3D padded = padded_pow2(extents);
+  if (padded.nx == padded.ny && padded.ny == padded.nz) {
+    for_each_morton_in_box(Coord3D{0, 0, 0},
+                           Coord3D{extents.nx - 1, extents.ny - 1, extents.nz - 1},
+                           [&](std::uint64_t, const Coord3D& c) { fn(c.i, c.j, c.k); });
+    return;
+  }
+  const ZOrderTables tables(extents);
+  for (std::size_t idx = 0; idx < tables.capacity(); ++idx) {
+    const Coord3D c = tables.decode(idx);
+    if (extents.contains(c.i, c.j, c.k)) {
+      fn(c.i, c.j, c.k);
+    }
+  }
+}
+
+}  // namespace sfcvis::core

@@ -1,0 +1,31 @@
+#include "sfcvis/data/combustion.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sfcvis::data {
+
+float CombustionField::mixture_fraction(float u, float v, float w) const noexcept {
+  // Round fuel jet along +y with a Gaussian radial profile, decaying
+  // downstream, wrinkled by fBm turbulence that grows with distance from
+  // the nozzle (v = 0 plane).
+  const float rx = u - 0.5f;
+  const float rz = w - 0.5f;
+  const float r2 = rx * rx + rz * rz;
+  const float jet_radius = 0.10f + 0.25f * v;  // spreading jet
+  const float core = std::exp(-r2 / (jet_radius * jet_radius)) * std::exp(-1.1f * v);
+  const float wrinkle =
+      params_.turbulence * (0.3f + v) * fbm(noise_, u, v, w, params_.fbm);
+  return std::clamp(core + wrinkle * core * 2.0f + 0.15f * wrinkle, 0.0f, 1.0f);
+}
+
+float CombustionField::sample(float u, float v, float w) const noexcept {
+  const float z = mixture_fraction(u, v, w);
+  // Flame-sheet response: bright where Z crosses stoichiometric, plus a
+  // small fraction of Z itself so the cold fuel core is faintly visible.
+  const float d = (z - params_.stoichiometric) / params_.sheet_width;
+  const float sheet = std::exp(-d * d);
+  return std::clamp(0.85f * sheet + 0.15f * z, 0.0f, 1.0f);
+}
+
+}  // namespace sfcvis::data

@@ -1,0 +1,60 @@
+// Synthetic combustion-like scalar field.
+//
+// Stands in for the paper's 512^3 combustion-simulation dataset (DESIGN.md
+// Sec. 4). The model is the classic flamelet picture: a turbulent mixture
+// fraction Z(x) built from fBm noise advected around a fuel-jet core, fed
+// through a flame-sheet response centered at the stoichiometric value so
+// the rendered field shows a thin, wrinkled, high-intensity sheet embedded
+// in smooth large-scale structure — the feature mix a volume renderer's
+// transfer function keys on.
+#pragma once
+
+#include <cstdint>
+
+#include "sfcvis/core/grid.hpp"
+#include "sfcvis/data/noise.hpp"
+
+namespace sfcvis::data {
+
+/// Parameters of the flamelet model.
+struct CombustionParams {
+  std::uint32_t seed = 7;
+  float stoichiometric = 0.35f;  ///< mixture fraction of the flame sheet
+  float sheet_width = 0.08f;     ///< flame-sheet thickness in Z-space
+  float turbulence = 0.45f;      ///< fBm amplitude wrinkling the jet
+  FbmParams fbm{5, 2.1f, 0.55f, 3.0f};
+};
+
+/// Analytic combustion field sampled in normalized [0, 1]^3 coordinates;
+/// returns values in [0, 1] (temperature-like: flame sheet bright).
+class CombustionField {
+ public:
+  explicit CombustionField(const CombustionParams& params = {})
+      : params_(params), noise_(params.seed) {}
+
+  [[nodiscard]] float sample(float u, float v, float w) const noexcept;
+
+  /// The underlying mixture fraction before the flame-sheet response.
+  [[nodiscard]] float mixture_fraction(float u, float v, float w) const noexcept;
+
+  [[nodiscard]] const CombustionParams& params() const noexcept { return params_; }
+
+ private:
+  CombustionParams params_;
+  ValueNoise3D noise_;
+};
+
+/// Fills `grid` with the combustion field at its own resolution.
+template <core::Layout3D L>
+void fill_combustion(core::Grid3D<float, L>& grid, const CombustionParams& params = {}) {
+  const CombustionField model(params);
+  const auto& e = grid.extents();
+  grid.fill_from([&](std::uint32_t i, std::uint32_t j, std::uint32_t k) {
+    const float u = (static_cast<float>(i) + 0.5f) / static_cast<float>(e.nx);
+    const float v = (static_cast<float>(j) + 0.5f) / static_cast<float>(e.ny);
+    const float w = (static_cast<float>(k) + 0.5f) / static_cast<float>(e.nz);
+    return model.sample(u, v, w);
+  });
+}
+
+}  // namespace sfcvis::data

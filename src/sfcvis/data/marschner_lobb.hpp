@@ -1,0 +1,50 @@
+// The Marschner-Lobb test signal (Marschner & Lobb, "An evaluation of
+// reconstruction filters for volume rendering", Vis '94) — the standard
+// analytic benchmark dataset for volume-rendering reconstruction quality.
+// Included as the third synthetic dataset: its high-frequency ripples near
+// the Nyquist rate make reconstruction errors (and transfer-function
+// ringing) visible at a glance.
+#pragma once
+
+#include <cmath>
+#include <numbers>
+
+#include "sfcvis/core/grid.hpp"
+
+namespace sfcvis::data {
+
+/// Marschner-Lobb parameters; the canonical values are the defaults.
+struct MarschnerLobbParams {
+  float fm = 6.0f;      ///< ripple frequency
+  float alpha = 0.25f;  ///< ripple amplitude
+};
+
+/// Signal value at normalized position (u, v, w) in [0, 1]^3, remapped to
+/// the canonical [-1, 1]^3 domain; range is [0, 1].
+[[nodiscard]] inline float marschner_lobb(float u, float v, float w,
+                                          const MarschnerLobbParams& params = {}) noexcept {
+  const float x = 2.0f * u - 1.0f;
+  const float y = 2.0f * v - 1.0f;
+  const float z = 2.0f * w - 1.0f;
+  const float r = std::sqrt(x * x + y * y);
+  const float pi = std::numbers::pi_v<float>;
+  const float rho =
+      std::cos(2.0f * pi * params.fm * std::cos(pi * r / 2.0f));
+  return ((1.0f - std::sin(pi * z / 2.0f)) + params.alpha * (1.0f + rho)) /
+         (2.0f * (1.0f + params.alpha));
+}
+
+/// Fills `grid` with the sampled Marschner-Lobb signal.
+template <core::Layout3D L>
+void fill_marschner_lobb(core::Grid3D<float, L>& grid,
+                         const MarschnerLobbParams& params = {}) {
+  const auto& e = grid.extents();
+  grid.fill_from([&](std::uint32_t i, std::uint32_t j, std::uint32_t k) {
+    const float u = (static_cast<float>(i) + 0.5f) / static_cast<float>(e.nx);
+    const float v = (static_cast<float>(j) + 0.5f) / static_cast<float>(e.ny);
+    const float w = (static_cast<float>(k) + 0.5f) / static_cast<float>(e.nz);
+    return marschner_lobb(u, v, w, params);
+  });
+}
+
+}  // namespace sfcvis::data

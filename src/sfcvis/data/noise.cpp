@@ -1,0 +1,64 @@
+#include "sfcvis/data/noise.hpp"
+
+#include <cmath>
+
+namespace sfcvis::data {
+namespace {
+
+/// 32-bit integer mix (finalizer of MurmurHash3); avalanche-quality hashing
+/// keeps the lattice free of visible axis artifacts.
+std::uint32_t mix(std::uint32_t h) noexcept {
+  h ^= h >> 16;
+  h *= 0x85ebca6bu;
+  h ^= h >> 13;
+  h *= 0xc2b2ae35u;
+  h ^= h >> 16;
+  return h;
+}
+
+float smoothstep(float t) noexcept { return t * t * (3.0f - 2.0f * t); }
+
+}  // namespace
+
+float ValueNoise3D::lattice(std::int32_t ix, std::int32_t iy, std::int32_t iz) const noexcept {
+  std::uint32_t h = seed_;
+  h = mix(h ^ static_cast<std::uint32_t>(ix));
+  h = mix(h ^ static_cast<std::uint32_t>(iy));
+  h = mix(h ^ static_cast<std::uint32_t>(iz));
+  // Map to [-1, 1].
+  return static_cast<float>(h) * (2.0f / 4294967295.0f) - 1.0f;
+}
+
+float ValueNoise3D::sample(float x, float y, float z) const noexcept {
+  const float fx = std::floor(x), fy = std::floor(y), fz = std::floor(z);
+  const auto ix = static_cast<std::int32_t>(fx);
+  const auto iy = static_cast<std::int32_t>(fy);
+  const auto iz = static_cast<std::int32_t>(fz);
+  const float tx = smoothstep(x - fx);
+  const float ty = smoothstep(y - fy);
+  const float tz = smoothstep(z - fz);
+
+  auto lerp = [](float a, float b, float t) { return a + (b - a) * t; };
+  const float c00 = lerp(lattice(ix, iy, iz), lattice(ix + 1, iy, iz), tx);
+  const float c10 = lerp(lattice(ix, iy + 1, iz), lattice(ix + 1, iy + 1, iz), tx);
+  const float c01 = lerp(lattice(ix, iy, iz + 1), lattice(ix + 1, iy, iz + 1), tx);
+  const float c11 = lerp(lattice(ix, iy + 1, iz + 1), lattice(ix + 1, iy + 1, iz + 1), tx);
+  return lerp(lerp(c00, c10, ty), lerp(c01, c11, ty), tz);
+}
+
+float fbm(const ValueNoise3D& noise, float x, float y, float z,
+          const FbmParams& params) noexcept {
+  float sum = 0.0f;
+  float amplitude = 1.0f;
+  float norm = 0.0f;
+  float freq = params.base_frequency;
+  for (unsigned o = 0; o < params.octaves; ++o) {
+    sum += amplitude * noise.sample(x * freq, y * freq, z * freq);
+    norm += amplitude;
+    amplitude *= params.gain;
+    freq *= params.lacunarity;
+  }
+  return norm > 0.0f ? sum / norm : 0.0f;
+}
+
+}  // namespace sfcvis::data

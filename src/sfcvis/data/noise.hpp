@@ -1,0 +1,41 @@
+// Deterministic 3D value noise and fractal Brownian motion.
+//
+// Substrate for the synthetic datasets that stand in for the paper's MRI
+// and combustion volumes (DESIGN.md Sec. 4): both generators need smooth,
+// band-limited, seedable structure.
+#pragma once
+
+#include <cstdint>
+
+namespace sfcvis::data {
+
+/// Lattice value noise: smooth pseudo-random field in [-1, 1], C1 via
+/// smoothstep-interpolated trilinear blending of hashed lattice values.
+class ValueNoise3D {
+ public:
+  explicit ValueNoise3D(std::uint32_t seed) : seed_(seed) {}
+
+  /// Noise value at continuous position (x, y, z); period-free within
+  /// double precision, deterministic per seed.
+  [[nodiscard]] float sample(float x, float y, float z) const noexcept;
+
+  [[nodiscard]] std::uint32_t seed() const noexcept { return seed_; }
+
+ private:
+  [[nodiscard]] float lattice(std::int32_t ix, std::int32_t iy, std::int32_t iz) const noexcept;
+  std::uint32_t seed_;
+};
+
+/// Parameters of a fractal Brownian motion sum of noise octaves.
+struct FbmParams {
+  unsigned octaves = 5;
+  float lacunarity = 2.0f;  ///< frequency multiplier per octave
+  float gain = 0.5f;        ///< amplitude multiplier per octave
+  float base_frequency = 4.0f;
+};
+
+/// fBm sum of `params.octaves` noise octaves, renormalized to ~[-1, 1].
+[[nodiscard]] float fbm(const ValueNoise3D& noise, float x, float y, float z,
+                        const FbmParams& params) noexcept;
+
+}  // namespace sfcvis::data

@@ -1,0 +1,47 @@
+#include "sfcvis/data/phantom.hpp"
+
+#include <cmath>
+
+namespace sfcvis::data {
+
+MriPhantom MriPhantom::shepp_logan() {
+  // 3D Shepp-Logan after Kak & Slaney, with the soft-tissue contrast
+  // raised (the "modified" variant) so interior structures are visible to
+  // a renderer without windowing.
+  return MriPhantom({
+      {0.00f, 0.000f, 0.00f, 0.690f, 0.920f, 0.810f, 0.0f, 1.00f},   // skull
+      {0.00f, -0.0184f, 0.00f, 0.6624f, 0.874f, 0.780f, 0.0f, -0.80f},  // brain
+      {0.22f, 0.000f, 0.00f, 0.110f, 0.310f, 0.220f, -0.31416f, -0.20f},  // right ventricle
+      {-0.22f, 0.000f, 0.00f, 0.160f, 0.410f, 0.280f, 0.31416f, -0.20f},  // left ventricle
+      {0.00f, 0.350f, -0.15f, 0.210f, 0.250f, 0.410f, 0.0f, 0.10f},  // upper blob
+      {0.00f, 0.100f, 0.25f, 0.046f, 0.046f, 0.050f, 0.0f, 0.10f},
+      {0.00f, -0.100f, 0.25f, 0.046f, 0.046f, 0.050f, 0.0f, 0.10f},
+      {-0.08f, -0.605f, 0.00f, 0.046f, 0.023f, 0.050f, 0.0f, 0.10f},
+      {0.00f, -0.606f, 0.00f, 0.023f, 0.023f, 0.020f, 0.0f, 0.10f},
+      {0.06f, -0.605f, 0.00f, 0.023f, 0.046f, 0.020f, 0.0f, 0.10f},
+  });
+}
+
+float MriPhantom::sample(float u, float v, float w) const noexcept {
+  // Map [0, 1]^3 to the phantom's [-1, 1]^3 frame.
+  const float x = 2.0f * u - 1.0f;
+  const float y = 2.0f * v - 1.0f;
+  const float z = 2.0f * w - 1.0f;
+  float value = 0.0f;
+  for (const auto& e : ellipsoids_) {
+    const float dx = x - e.cx;
+    const float dy = y - e.cy;
+    const float dz = z - e.cz;
+    const float c = std::cos(e.phi), s = std::sin(e.phi);
+    const float rx = c * dx + s * dy;
+    const float ry = -s * dx + c * dy;
+    const float q = (rx * rx) / (e.ax * e.ax) + (ry * ry) / (e.ay * e.ay) +
+                    (dz * dz) / (e.az * e.az);
+    if (q <= 1.0f) {
+      value += e.value;
+    }
+  }
+  return value;
+}
+
+}  // namespace sfcvis::data

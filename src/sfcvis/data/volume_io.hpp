@@ -1,0 +1,57 @@
+// Volume file IO in the BOV ("brick of values") convention common to the
+// visualization tools the paper's workloads come from: a small text header
+// describing extents plus a raw little-endian float payload, x fastest.
+//
+// Serialization is always array-order regardless of the in-memory layout,
+// so files are interchangeable between layout configurations.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "sfcvis/core/grid.hpp"
+
+namespace sfcvis::data {
+
+/// A volume loaded from disk: extents plus array-order samples.
+struct RawVolume {
+  core::Extents3D extents;
+  std::vector<float> samples;  ///< size = extents.size(), x fastest
+};
+
+/// Writes `header_path` (BOV text header) and its sibling .raw payload.
+/// The header references the payload by filename. Throws std::runtime_error
+/// on IO failure.
+void save_bov(const std::filesystem::path& header_path, const RawVolume& volume);
+
+/// Reads a BOV header + payload written by save_bov (a compatible subset of
+/// the general format: float32, x-fastest). Throws std::runtime_error on
+/// parse or IO failure.
+[[nodiscard]] RawVolume load_bov(const std::filesystem::path& header_path);
+
+/// Serializes any-layout grid contents into array order.
+template <core::Layout3D L>
+[[nodiscard]] RawVolume to_raw(const core::Grid3D<float, L>& grid) {
+  RawVolume out;
+  out.extents = grid.extents();
+  out.samples.reserve(out.extents.size());
+  grid.for_each_index([&](std::uint32_t i, std::uint32_t j, std::uint32_t k) {
+    out.samples.push_back(grid.at(i, j, k));
+  });
+  return out;
+}
+
+/// Fills any-layout grid from an array-order payload; extents must match.
+template <core::Layout3D L>
+void from_raw(const RawVolume& volume, core::Grid3D<float, L>& grid) {
+  if (!(grid.extents() == volume.extents)) {
+    throw std::invalid_argument("from_raw: extents mismatch");
+  }
+  std::size_t cursor = 0;
+  grid.fill_from([&](std::uint32_t, std::uint32_t, std::uint32_t) {
+    return volume.samples[cursor++];
+  });
+}
+
+}  // namespace sfcvis::data

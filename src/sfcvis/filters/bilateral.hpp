@@ -1,0 +1,286 @@
+// 3D bilateral filter (paper Sec. III-A).
+//
+// The output voxel D(i) is the normalized, weighted average of its
+// (2r+1)^3 stencil neighbourhood, where the weight of neighbour i-bar is
+// the product of
+//   g(i, i-bar) = exp(-1/2 (d_spatial / sigma_s)^2)   — geometric term, and
+//   c(i, i-bar) = exp(-1/2 (|S(i)-S(i-bar)| / sigma_r)^2) — photometric term
+// (Tomasi & Manduchi 1998, Eqs. 1-3 of the paper). The geometric term is
+// precomputed per stencil offset; the photometric term is data-dependent
+// and evaluated per sample, which is what makes the bilateral filter more
+// expensive than a plain convolution and gives it its edge-preserving
+// behaviour.
+//
+// Parallelization follows the paper: the volume is decomposed into
+// "pencils" (voxel rows along a configurable axis) handed to threads in
+// round-robin fashion; the stencil iteration order is configurable so the
+// against-the-grain configurations of Fig. 2/3 (pz zyx) can be reproduced.
+//
+// Kernels are templated on a core::ReadView3D so one implementation serves
+// native timed runs (PlainView) and simulated-counter runs (TracedView).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sfcvis/core/grid.hpp"
+#include "sfcvis/core/traced_view.hpp"
+#include "sfcvis/core/zquery.hpp"
+#include "sfcvis/filters/kernels_common.hpp"
+#include "sfcvis/memsim/hierarchy.hpp"
+#include "sfcvis/threads/pool.hpp"
+#include "sfcvis/threads/schedulers.hpp"
+
+namespace sfcvis::filters {
+
+/// Bilateral filter configuration. Stencil is (2*radius+1)^3; the paper's
+/// r1/r3/r5 labels correspond to radius 1, 3, 5 (3^3, 7^3, 11^3 stencils).
+struct BilateralParams {
+  unsigned radius = 1;
+  float sigma_spatial = 1.5f;  ///< geometric falloff, in voxels
+  float sigma_range = 0.1f;    ///< photometric falloff, in intensity units
+  PencilAxis pencil = PencilAxis::kX;
+  LoopOrder order = LoopOrder::kXYZ;
+};
+
+/// Precomputed geometric weights for one stencil radius/sigma: the g(i,ibar)
+/// table of the paper's Eq. 3, indexed by stencil offset.
+class BilateralWeights {
+ public:
+  BilateralWeights(unsigned radius, float sigma_spatial);
+
+  [[nodiscard]] unsigned radius() const noexcept { return radius_; }
+
+  /// Weight of offset (dx, dy, dz), each in [-radius, radius].
+  [[nodiscard]] float spatial(int dx, int dy, int dz) const noexcept {
+    const auto width = static_cast<std::size_t>(2 * radius_ + 1);
+    const auto ix = static_cast<std::size_t>(dx + static_cast<int>(radius_));
+    const auto iy = static_cast<std::size_t>(dy + static_cast<int>(radius_));
+    const auto iz = static_cast<std::size_t>(dz + static_cast<int>(radius_));
+    return table_[ix + width * (iy + width * iz)];
+  }
+
+  /// Photometric weight c(i, ibar) for an intensity difference.
+  [[nodiscard]] static float range(float diff, float inv_two_sigma_r_sq) noexcept {
+    return std::exp(-diff * diff * inv_two_sigma_r_sq);
+  }
+
+ private:
+  unsigned radius_;
+  std::vector<float> table_;
+};
+
+/// Number of pencils a volume decomposes into along `axis`.
+[[nodiscard]] std::size_t pencil_count(const core::Extents3D& e, PencilAxis axis) noexcept;
+
+/// Length of one pencil along `axis`.
+[[nodiscard]] std::uint32_t pencil_length(const core::Extents3D& e, PencilAxis axis) noexcept;
+
+/// Decomposes pencil index -> the two fixed coordinates; the voxel at
+/// position t along the pencil is obtained via pencil_voxel().
+struct PencilCoords {
+  std::uint32_t a = 0, b = 0;
+};
+[[nodiscard]] PencilCoords pencil_coords(const core::Extents3D& e, PencilAxis axis,
+                                         std::size_t pencil) noexcept;
+
+/// (i, j, k) of position `t` along pencil `pc` on `axis`.
+[[nodiscard]] core::Coord3D pencil_voxel(PencilAxis axis, PencilCoords pc,
+                                         std::uint32_t t) noexcept;
+
+// ---------------------------------------------------------------------------
+// Kernel (header template: shared by native and traced drivers)
+// ---------------------------------------------------------------------------
+
+/// Filters a single voxel. Border handling: clamp-to-edge.
+template <core::ReadView3D View>
+[[nodiscard]] float bilateral_voxel(const View& src, std::uint32_t i, std::uint32_t j,
+                                    std::uint32_t k, const BilateralWeights& weights,
+                                    float sigma_range, LoopOrder order) {
+  const int r = static_cast<int>(weights.radius());
+  const float inv2sr2 = 1.0f / (2.0f * sigma_range * sigma_range);
+  const float center = src.at(i, j, k);
+  float sum = 0.0f;
+  float norm = 0.0f;
+
+  auto tap = [&](int dx, int dy, int dz) {
+    const float sample = src.at_clamped(static_cast<std::int64_t>(i) + dx,
+                                        static_cast<std::int64_t>(j) + dy,
+                                        static_cast<std::int64_t>(k) + dz);
+    const float w = weights.spatial(dx, dy, dz) *
+                    BilateralWeights::range(sample - center, inv2sr2);
+    sum += w * sample;
+    norm += w;
+  };
+
+  if (order == LoopOrder::kXYZ) {
+    for (int dz = -r; dz <= r; ++dz) {
+      for (int dy = -r; dy <= r; ++dy) {
+        for (int dx = -r; dx <= r; ++dx) {
+          tap(dx, dy, dz);
+        }
+      }
+    }
+  } else {  // zyx: innermost loop walks z, against the array-order grain
+    for (int dx = -r; dx <= r; ++dx) {
+      for (int dy = -r; dy <= r; ++dy) {
+        for (int dz = -r; dz <= r; ++dz) {
+          tap(dx, dy, dz);
+        }
+      }
+    }
+  }
+  // norm >= spatial(0,0,0) * range(0) > 0 always: the center tap.
+  return sum / norm;
+}
+
+/// Filters every voxel of one pencil into `dst` (array-order output).
+template <core::ReadView3D View>
+void bilateral_pencil(const View& src, core::Grid3D<float, core::ArrayOrderLayout>& dst,
+                      const BilateralWeights& weights, const BilateralParams& params,
+                      std::size_t pencil) {
+  const auto& e = src.extents();
+  const PencilCoords pc = pencil_coords(e, params.pencil, pencil);
+  const std::uint32_t len = pencil_length(e, params.pencil);
+  for (std::uint32_t t = 0; t < len; ++t) {
+    const core::Coord3D v = pencil_voxel(params.pencil, pc, t);
+    dst.at(v.i, v.j, v.k) =
+        bilateral_voxel(src, v.i, v.j, v.k, weights, params.sigma_range, params.order);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Drivers
+// ---------------------------------------------------------------------------
+
+/// Serial reference implementation (array-order input, xyz order); the
+/// oracle the test suite checks every configuration against.
+void bilateral_reference(const core::Grid3D<float, core::ArrayOrderLayout>& src,
+                         core::Grid3D<float, core::ArrayOrderLayout>& dst,
+                         unsigned radius, float sigma_spatial, float sigma_range);
+
+/// Shared-memory parallel bilateral filter: pencils are assigned to pool
+/// threads round-robin (paper Sec. III-A). Works with any source layout.
+template <core::Layout3D L>
+void bilateral_parallel(const core::Grid3D<float, L>& src,
+                        core::Grid3D<float, core::ArrayOrderLayout>& dst,
+                        const BilateralParams& params, threads::Pool& pool) {
+  const BilateralWeights weights(params.radius, params.sigma_spatial);
+  const core::PlainView<float, L> view(src);
+  const std::size_t pencils = pencil_count(src.extents(), params.pencil);
+  threads::parallel_for_static(pool, pencils, [&](std::size_t pencil, unsigned) {
+    bilateral_pencil(view, dst, weights, params, pencil);
+  });
+}
+
+/// Curve-order sweep: processes voxels in Z-curve order instead of
+/// pencils, partitioning the curve into `num_chunks` contiguous ranges
+/// handed to threads round-robin. With a Z-order source layout the sweep
+/// visits storage in monotonically increasing order — the traversal the
+/// layout is optimal for. This is the "traversal matched to layout"
+/// extension the paper's related work (Bader 2013) describes for matrix
+/// codes; bench/abl_traversal quantifies it for the bilateral filter.
+template <core::Layout3D L>
+void bilateral_zsweep(const core::Grid3D<float, L>& src,
+                      core::Grid3D<float, core::ArrayOrderLayout>& dst,
+                      const BilateralParams& params, threads::Pool& pool,
+                      std::size_t chunks_per_thread = 8) {
+  const BilateralWeights weights(params.radius, params.sigma_spatial);
+  const core::PlainView<float, L> view(src);
+  const auto& e = src.extents();
+
+  // Materialize the curve-ordered voxel list once (12 bytes/voxel); chunks
+  // are contiguous curve ranges so each work item is a compact brick.
+  std::vector<core::Coord3D> order;
+  order.reserve(e.size());
+  core::for_each_zorder(e, [&](std::uint32_t i, std::uint32_t j, std::uint32_t k) {
+    order.push_back(core::Coord3D{i, j, k});
+  });
+
+  const std::size_t num_chunks = std::max<std::size_t>(1, pool.size() * chunks_per_thread);
+  const std::size_t chunk_len = (order.size() + num_chunks - 1) / num_chunks;
+  threads::parallel_for_static(pool, num_chunks, [&](std::size_t chunk, unsigned) {
+    const std::size_t begin = chunk * chunk_len;
+    const std::size_t end = std::min(order.size(), begin + chunk_len);
+    for (std::size_t n = begin; n < end; ++n) {
+      const core::Coord3D v = order[n];
+      dst.at(v.i, v.j, v.k) =
+          bilateral_voxel(view, v.i, v.j, v.k, weights, params.sigma_range, params.order);
+    }
+  });
+}
+
+/// Counter-collection variant of the curve-order sweep.
+template <core::Layout3D L>
+void bilateral_zsweep_traced(const core::Grid3D<float, L>& src,
+                             core::Grid3D<float, core::ArrayOrderLayout>& dst,
+                             const BilateralParams& params, memsim::Hierarchy& hierarchy,
+                             std::size_t max_items = SIZE_MAX,
+                             std::size_t chunks_per_thread = 8) {
+  const BilateralWeights weights(params.radius, params.sigma_spatial);
+  const auto& e = src.extents();
+  std::vector<core::Coord3D> order;
+  order.reserve(e.size());
+  core::for_each_zorder(e, [&](std::uint32_t i, std::uint32_t j, std::uint32_t k) {
+    order.push_back(core::Coord3D{i, j, k});
+  });
+  const std::size_t num_chunks =
+      std::max<std::size_t>(1, hierarchy.num_threads() * chunks_per_thread);
+  const std::size_t chunk_len = (order.size() + num_chunks - 1) / num_chunks;
+  const threads::StaticRoundRobin rr(num_chunks, hierarchy.num_threads());
+  std::vector<memsim::ThreadSink> sinks;
+  sinks.reserve(hierarchy.num_threads());
+  for (unsigned t = 0; t < hierarchy.num_threads(); ++t) {
+    sinks.push_back(hierarchy.sink(t));
+  }
+  std::size_t done = 0;
+  for (const auto& assignment : rr.replay_order()) {
+    if (done++ >= max_items) {
+      break;
+    }
+    const core::TracedView<float, L, memsim::ThreadSink> view(src, sinks[assignment.tid]);
+    const std::size_t begin = assignment.item * chunk_len;
+    const std::size_t end = std::min(order.size(), begin + chunk_len);
+    for (std::size_t n = begin; n < end; ++n) {
+      const core::Coord3D v = order[n];
+      dst.at(v.i, v.j, v.k) =
+          bilateral_voxel(view, v.i, v.j, v.k, weights, params.sigma_range, params.order);
+    }
+  }
+}
+
+/// Counter-collection variant: replays the exact access stream that
+/// `num_threads` round-robin threads would produce through the modeled
+/// hierarchy (single real thread; deterministic).
+///
+/// `max_items` caps the replay at a prefix of the schedule: the benches use
+/// it to bound simulation cost on large volumes. Both layouts replay the
+/// identical voxel set, so the scaled relative difference stays well
+/// defined (see DESIGN.md Sec. 4).
+template <core::Layout3D L>
+void bilateral_traced(const core::Grid3D<float, L>& src,
+                      core::Grid3D<float, core::ArrayOrderLayout>& dst,
+                      const BilateralParams& params, memsim::Hierarchy& hierarchy,
+                      std::size_t max_items = SIZE_MAX) {
+  const BilateralWeights weights(params.radius, params.sigma_spatial);
+  const std::size_t pencils = pencil_count(src.extents(), params.pencil);
+  const threads::StaticRoundRobin rr(pencils, hierarchy.num_threads());
+  std::vector<memsim::ThreadSink> sinks;
+  sinks.reserve(hierarchy.num_threads());
+  for (unsigned t = 0; t < hierarchy.num_threads(); ++t) {
+    sinks.push_back(hierarchy.sink(t));
+  }
+  std::size_t done = 0;
+  for (const auto& assignment : rr.replay_order()) {
+    if (done++ >= max_items) {
+      break;
+    }
+    const core::TracedView<float, L, memsim::ThreadSink> view(src, sinks[assignment.tid]);
+    bilateral_pencil(view, dst, weights, params, assignment.item);
+  }
+}
+
+}  // namespace sfcvis::filters

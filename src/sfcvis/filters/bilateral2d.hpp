@@ -1,0 +1,73 @@
+// 2D bilateral filter — the original Tomasi & Manduchi (1998) formulation
+// the paper's 3D filter extends. Included so the layout study can be run
+// on images, and used by the denoise_image example.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "sfcvis/core/grid2d.hpp"
+#include "sfcvis/filters/kernels_common.hpp"
+#include "sfcvis/threads/pool.hpp"
+#include "sfcvis/threads/schedulers.hpp"
+
+namespace sfcvis::filters {
+
+/// 2D bilateral parameters; stencil is (2*radius+1)^2.
+struct Bilateral2DParams {
+  unsigned radius = 2;
+  float sigma_spatial = 1.5f;
+  float sigma_range = 0.1f;
+  /// Row assignment: rows along x handed to threads round-robin ("px"),
+  /// or columns along y ("py") — the 2D analogue of the pencil choice.
+  PencilAxis pencil = PencilAxis::kX;
+};
+
+/// Filters a single pixel (clamp borders).
+template <class T, core::Layout2D L>
+[[nodiscard]] float bilateral2d_pixel(const core::Grid2D<T, L>& src, std::uint32_t i,
+                                      std::uint32_t j, const Bilateral2DParams& params) {
+  const int r = static_cast<int>(params.radius);
+  const float inv2ss2 = 1.0f / (2.0f * params.sigma_spatial * params.sigma_spatial);
+  const float inv2sr2 = 1.0f / (2.0f * params.sigma_range * params.sigma_range);
+  const float center = src.at(i, j);
+  float sum = 0.0f, norm = 0.0f;
+  for (int dy = -r; dy <= r; ++dy) {
+    for (int dx = -r; dx <= r; ++dx) {
+      const float sample = src.at_clamped(static_cast<std::int64_t>(i) + dx,
+                                          static_cast<std::int64_t>(j) + dy);
+      const auto d2 = static_cast<float>(dx * dx + dy * dy);
+      const float diff = sample - center;
+      const float w = std::exp(-d2 * inv2ss2) * std::exp(-diff * diff * inv2sr2);
+      sum += w * sample;
+      norm += w;
+    }
+  }
+  return sum / norm;
+}
+
+/// Shared-memory parallel 2D bilateral filter; output is array-order.
+template <core::Layout2D L>
+void bilateral2d_parallel(const core::Grid2D<float, L>& src,
+                          core::Grid2D<float, core::ArrayOrderLayout2D>& dst,
+                          const Bilateral2DParams& params, threads::Pool& pool) {
+  const auto& e = src.extents();
+  if (params.pencil == PencilAxis::kX) {
+    threads::parallel_for_static(pool, e.ny, [&](std::size_t j, unsigned) {
+      for (std::uint32_t i = 0; i < e.nx; ++i) {
+        dst.at(i, static_cast<std::uint32_t>(j)) =
+            bilateral2d_pixel(src, i, static_cast<std::uint32_t>(j), params);
+      }
+    });
+  } else {
+    threads::parallel_for_static(pool, e.nx, [&](std::size_t i, unsigned) {
+      for (std::uint32_t j = 0; j < e.ny; ++j) {
+        dst.at(static_cast<std::uint32_t>(i), j) =
+            bilateral2d_pixel(src, static_cast<std::uint32_t>(i), j, params);
+      }
+    });
+  }
+}
+
+}  // namespace sfcvis::filters

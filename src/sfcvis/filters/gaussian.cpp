@@ -1,0 +1,51 @@
+#include "sfcvis/filters/gaussian.hpp"
+
+#include <cmath>
+
+namespace sfcvis::filters {
+
+std::vector<float> gaussian_kernel_1d(unsigned radius, float sigma) {
+  std::vector<float> taps(2 * static_cast<std::size_t>(radius) + 1);
+  const float inv2s2 = 1.0f / (2.0f * sigma * sigma);
+  float norm = 0.0f;
+  for (std::size_t n = 0; n < taps.size(); ++n) {
+    const auto d = static_cast<float>(static_cast<int>(n) - static_cast<int>(radius));
+    taps[n] = std::exp(-d * d * inv2s2);
+    norm += taps[n];
+  }
+  for (auto& t : taps) {
+    t /= norm;
+  }
+  return taps;
+}
+
+void gaussian_separable(const core::Grid3D<float, core::ArrayOrderLayout>& src,
+                        core::Grid3D<float, core::ArrayOrderLayout>& dst, unsigned radius,
+                        float sigma) {
+  const auto taps = gaussian_kernel_1d(radius, sigma);
+  const int r = static_cast<int>(radius);
+  const auto& e = src.extents();
+  core::Grid3D<float, core::ArrayOrderLayout> tmp1(e), tmp2(e);
+
+  auto pass = [&](const auto& in, auto& out, int axis) {
+    for (std::uint32_t k = 0; k < e.nz; ++k) {
+      for (std::uint32_t j = 0; j < e.ny; ++j) {
+        for (std::uint32_t i = 0; i < e.nx; ++i) {
+          float sum = 0.0f;
+          for (int d = -r; d <= r; ++d) {
+            sum += taps[static_cast<std::size_t>(d + r)] *
+                   in.at_clamped(static_cast<std::int64_t>(i) + (axis == 0 ? d : 0),
+                                 static_cast<std::int64_t>(j) + (axis == 1 ? d : 0),
+                                 static_cast<std::int64_t>(k) + (axis == 2 ? d : 0));
+          }
+          out.at(i, j, k) = sum;
+        }
+      }
+    }
+  };
+  pass(src, tmp1, 0);
+  pass(tmp1, tmp2, 1);
+  pass(tmp2, dst, 2);
+}
+
+}  // namespace sfcvis::filters

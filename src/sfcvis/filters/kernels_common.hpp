@@ -1,0 +1,36 @@
+// Shared vocabulary of the stencil kernels: pencil (voxel-row) assignment
+// axes and stencil iteration orders, named as in the paper's figures
+// ("px", "pz", "xyz", "zyx"; Sec. III-A and IV-B3).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace sfcvis::filters {
+
+/// Which axis a work "pencil" (row of voxels handed to one thread) runs
+/// along. px = width rows, py = height rows, pz = depth rows.
+enum class PencilAxis : std::uint8_t { kX, kY, kZ };
+
+/// Stencil iteration order: which axis the innermost loop walks. xyz walks
+/// x innermost (with the array-order grain); zyx walks z innermost
+/// (deliberately against it).
+enum class LoopOrder : std::uint8_t { kXYZ, kZYX };
+
+[[nodiscard]] constexpr std::string_view to_string(PencilAxis a) noexcept {
+  switch (a) {
+    case PencilAxis::kX:
+      return "px";
+    case PencilAxis::kY:
+      return "py";
+    case PencilAxis::kZ:
+      return "pz";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr std::string_view to_string(LoopOrder o) noexcept {
+  return o == LoopOrder::kXYZ ? "xyz" : "zyx";
+}
+
+}  // namespace sfcvis::filters

@@ -1,0 +1,62 @@
+// 3D median filter — another stencil-based, structured-access kernel from
+// the visualization toolbox. Unlike the bilateral filter its per-voxel
+// work is a selection (nth_element) rather than weighted accumulation, so
+// it stresses the memory system with the same footprint but a different
+// compute/access ratio — a useful second data point for the layout study.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "sfcvis/core/grid.hpp"
+#include "sfcvis/core/traced_view.hpp"
+#include "sfcvis/filters/kernels_common.hpp"
+#include "sfcvis/threads/pool.hpp"
+#include "sfcvis/threads/schedulers.hpp"
+
+namespace sfcvis::filters {
+
+/// Median of the (2r+1)^3 neighbourhood (clamp borders). `scratch` must
+/// provide (2r+1)^3 floats; passing it in keeps the hot loop free of
+/// allocation.
+template <core::ReadView3D View>
+[[nodiscard]] float median_voxel(const View& src, std::uint32_t i, std::uint32_t j,
+                                 std::uint32_t k, unsigned radius,
+                                 std::vector<float>& scratch) {
+  const int r = static_cast<int>(radius);
+  scratch.clear();
+  for (int dz = -r; dz <= r; ++dz) {
+    for (int dy = -r; dy <= r; ++dy) {
+      for (int dx = -r; dx <= r; ++dx) {
+        scratch.push_back(src.at_clamped(static_cast<std::int64_t>(i) + dx,
+                                         static_cast<std::int64_t>(j) + dy,
+                                         static_cast<std::int64_t>(k) + dz));
+      }
+    }
+  }
+  const auto mid = scratch.begin() + static_cast<std::ptrdiff_t>(scratch.size() / 2);
+  std::nth_element(scratch.begin(), mid, scratch.end());
+  return *mid;
+}
+
+/// Parallel 3D median filter over x-pencils.
+template <core::Layout3D L>
+void median_filter(const core::Grid3D<float, L>& src,
+                   core::Grid3D<float, core::ArrayOrderLayout>& dst, unsigned radius,
+                   threads::Pool& pool) {
+  const core::PlainView<float, L> view(src);
+  const auto& e = src.extents();
+  const std::size_t pencils = static_cast<std::size_t>(e.ny) * e.nz;
+  const std::size_t taps = static_cast<std::size_t>(2 * radius + 1);
+  threads::parallel_for_static(pool, pencils, [&, taps](std::size_t p, unsigned) {
+    std::vector<float> scratch;
+    scratch.reserve(taps * taps * taps);
+    const auto j = static_cast<std::uint32_t>(p % e.ny);
+    const auto k = static_cast<std::uint32_t>(p / e.ny);
+    for (std::uint32_t i = 0; i < e.nx; ++i) {
+      dst.at(i, j, k) = median_voxel(view, i, j, k, radius, scratch);
+    }
+  });
+}
+
+}  // namespace sfcvis::filters

@@ -1,0 +1,100 @@
+#include "sfcvis/memsim/cache.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace sfcvis::memsim {
+
+Cache::Cache(const CacheConfig& config) : config_(config) {
+  if (config.line_bytes == 0 || !std::has_single_bit(config.line_bytes)) {
+    throw std::invalid_argument("Cache: line_bytes must be a power of two");
+  }
+  if (config.associativity == 0) {
+    throw std::invalid_argument("Cache: associativity must be nonzero");
+  }
+  const std::uint32_t nsets = config.sets();
+  if (nsets == 0) {
+    throw std::invalid_argument("Cache '" + config.name +
+                                "': size too small for line size * associativity");
+  }
+  if (!std::has_single_bit(nsets)) {
+    throw std::invalid_argument("Cache '" + config.name +
+                                "': geometry implies a non-power-of-two set count");
+  }
+  set_mask_ = nsets - 1;
+  ways_ = config.associativity;
+  const std::size_t slots = static_cast<std::size_t>(nsets) * ways_;
+  tags_.assign(slots, 0);
+  stamps_.assign(slots, 0);
+  valid_.assign(slots, 0);
+}
+
+bool Cache::access(std::uint64_t line_addr) noexcept {
+  ++stats_.accesses;
+  ++tick_;
+  const std::uint32_t set = static_cast<std::uint32_t>(line_addr) & set_mask_;
+  const std::size_t base = static_cast<std::size_t>(set) * ways_;
+
+  std::size_t victim = base;
+  std::uint64_t oldest = ~std::uint64_t{0};
+  for (std::size_t slot = base; slot < base + ways_; ++slot) {
+    if (valid_[slot] && tags_[slot] == line_addr) {
+      stamps_[slot] = tick_;
+      return true;
+    }
+    // Track the LRU (or first invalid) way as the eviction candidate.
+    const std::uint64_t age = valid_[slot] ? stamps_[slot] : 0;
+    if (age < oldest) {
+      oldest = age;
+      victim = slot;
+    }
+  }
+  ++stats_.misses;
+  tags_[victim] = line_addr;
+  stamps_[victim] = tick_;
+  valid_[victim] = 1;
+  return false;
+}
+
+bool Cache::contains(std::uint64_t line_addr) const noexcept {
+  const std::uint32_t set = static_cast<std::uint32_t>(line_addr) & set_mask_;
+  const std::size_t base = static_cast<std::size_t>(set) * ways_;
+  for (std::size_t slot = base; slot < base + ways_; ++slot) {
+    if (valid_[slot] && tags_[slot] == line_addr) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Cache::install(std::uint64_t line_addr) noexcept {
+  ++tick_;
+  const std::uint32_t set = static_cast<std::uint32_t>(line_addr) & set_mask_;
+  const std::size_t base = static_cast<std::size_t>(set) * ways_;
+  std::size_t victim = base;
+  std::uint64_t oldest = ~std::uint64_t{0};
+  for (std::size_t slot = base; slot < base + ways_; ++slot) {
+    if (valid_[slot] && tags_[slot] == line_addr) {
+      return;  // already resident; do not disturb recency
+    }
+    const std::uint64_t age = valid_[slot] ? stamps_[slot] : 0;
+    if (age < oldest) {
+      oldest = age;
+      victim = slot;
+    }
+  }
+  ++stats_.prefetch_installs;
+  tags_[victim] = line_addr;
+  stamps_[victim] = tick_;
+  valid_[victim] = 1;
+}
+
+void Cache::reset() noexcept {
+  std::fill(valid_.begin(), valid_.end(), std::uint8_t{0});
+  reset_stats();
+}
+
+void Cache::reset_stats() noexcept { stats_ = CacheStats{}; }
+
+}  // namespace sfcvis::memsim

@@ -1,0 +1,87 @@
+// Single-level set-associative cache model with true-LRU replacement.
+//
+// Part of the memsim substrate that substitutes for PAPI hardware counters
+// (see DESIGN.md Sec. 4): kernels replay their exact data-access streams
+// through a modeled hierarchy and the hit/miss totals play the role of the
+// paper's PAPI_L3_TCA / L2_DATA_READ_MISS_MEM_FILL measurements.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sfcvis::memsim {
+
+/// Geometry of one cache level.
+struct CacheConfig {
+  std::string name;                 ///< e.g. "L1d"
+  std::uint64_t size_bytes = 0;     ///< total capacity
+  std::uint32_t line_bytes = 64;    ///< line (block) size
+  std::uint32_t associativity = 8;  ///< ways per set
+  std::uint32_t hit_latency = 4;    ///< cycles to serve a hit at this level
+
+  /// Number of sets implied by the geometry.
+  [[nodiscard]] std::uint32_t sets() const noexcept {
+    return static_cast<std::uint32_t>(size_bytes / (static_cast<std::uint64_t>(line_bytes) *
+                                                    associativity));
+  }
+};
+
+/// Hit/miss totals of one cache instance.
+struct CacheStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t prefetch_installs = 0;
+
+  [[nodiscard]] std::uint64_t hits() const noexcept { return accesses - misses; }
+  [[nodiscard]] double miss_rate() const noexcept {
+    return accesses == 0 ? 0.0 : static_cast<double>(misses) / static_cast<double>(accesses);
+  }
+};
+
+/// A set-associative LRU cache. Accessed by *line address* (byte address
+/// already shifted down by log2(line_bytes)); splitting byte ranges into
+/// lines is the hierarchy's job.
+class Cache {
+ public:
+  /// Throws std::invalid_argument on non-power-of-two geometry or when the
+  /// configuration implies zero sets.
+  explicit Cache(const CacheConfig& config);
+
+  /// Touches `line_addr`; returns true on hit. On miss the line is filled,
+  /// evicting the set's LRU way.
+  bool access(std::uint64_t line_addr) noexcept;
+
+  /// True when `line_addr` is currently resident (no state change, no
+  /// counter update).
+  [[nodiscard]] bool contains(std::uint64_t line_addr) const noexcept;
+
+  /// Installs a line without touching the access/miss statistics — the
+  /// primitive the hierarchy's prefetcher model uses. Counted separately
+  /// in stats().prefetch_installs. No-op when the line is already
+  /// resident.
+  void install(std::uint64_t line_addr) noexcept;
+
+  /// Invalidates all lines and zeroes the statistics.
+  void reset() noexcept;
+
+  /// Zeroes statistics only (contents stay warm) — used to exclude warm-up
+  /// phases from measurement, as PAPI's counter start/stop does.
+  void reset_stats() noexcept;
+
+  [[nodiscard]] const CacheStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const CacheConfig& config() const noexcept { return config_; }
+
+ private:
+  CacheConfig config_;
+  std::uint32_t set_mask_ = 0;
+  std::uint32_t ways_ = 0;
+  std::uint64_t tick_ = 0;
+  CacheStats stats_;
+  // Structure-of-arrays per way-slot: index = set * ways + way.
+  std::vector<std::uint64_t> tags_;
+  std::vector<std::uint64_t> stamps_;
+  std::vector<std::uint8_t> valid_;
+};
+
+}  // namespace sfcvis::memsim

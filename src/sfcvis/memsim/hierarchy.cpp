@@ -1,0 +1,210 @@
+#include "sfcvis/memsim/hierarchy.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace sfcvis::memsim {
+
+Hierarchy::Hierarchy(const PlatformSpec& spec, unsigned num_threads,
+                     unsigned threads_per_core)
+    : spec_(spec), num_threads_(num_threads), threads_per_core_(threads_per_core) {
+  if (num_threads == 0) {
+    throw std::invalid_argument("Hierarchy: num_threads must be nonzero");
+  }
+  if (threads_per_core == 0) {
+    throw std::invalid_argument("Hierarchy: threads_per_core must be nonzero");
+  }
+  if (spec.private_levels.empty() && !spec.shared_llc) {
+    throw std::invalid_argument("Hierarchy: at least one cache level is required");
+  }
+  // All levels must agree on the line size; mixed-line hierarchies are not
+  // modeled (neither paper platform needs them).
+  line_bytes_ = spec.private_levels.empty() ? spec.shared_llc->line_bytes
+                                            : spec.private_levels.front().line_bytes;
+  for (const auto& level : spec.private_levels) {
+    if (level.line_bytes != line_bytes_) {
+      throw std::invalid_argument("Hierarchy: all levels must share one line size");
+    }
+  }
+  if (spec.shared_llc && spec.shared_llc->line_bytes != line_bytes_) {
+    throw std::invalid_argument("Hierarchy: all levels must share one line size");
+  }
+  line_shift_ = static_cast<unsigned>(std::bit_width(line_bytes_) - 1);
+
+  const unsigned num_cores = (num_threads + threads_per_core - 1) / threads_per_core;
+  threads_.reserve(num_cores);
+  for (unsigned t = 0; t < num_cores; ++t) {
+    std::vector<Cache> stack;
+    stack.reserve(spec.private_levels.size());
+    for (const auto& level : spec.private_levels) {
+      stack.emplace_back(level);
+    }
+    threads_.push_back(std::move(stack));
+  }
+  if (spec.shared_llc) {
+    llc_.emplace(*spec.shared_llc);
+  }
+  if (spec.tlb_entries > 0) {
+    if (!std::has_single_bit(spec.page_bytes)) {
+      throw std::invalid_argument("Hierarchy: page_bytes must be a power of two");
+    }
+    page_shift_ = static_cast<unsigned>(std::bit_width(spec.page_bytes) - 1);
+    // A TLB is a fully associative cache over page numbers: one set,
+    // tlb_entries ways, "line size" = one page.
+    const CacheConfig tlb_config{"dTLB",
+                                 static_cast<std::uint64_t>(spec.page_bytes) * spec.tlb_entries,
+                                 spec.page_bytes, spec.tlb_entries, 0};
+    tlbs_.reserve(num_cores);
+    for (unsigned c = 0; c < num_cores; ++c) {
+      tlbs_.emplace_back(tlb_config);
+    }
+  }
+  cycles_.assign(num_threads, 0);
+}
+
+CacheStats Hierarchy::tlb_stats() const noexcept {
+  CacheStats agg;
+  for (const auto& tlb : tlbs_) {
+    agg.accesses += tlb.stats().accesses;
+    agg.misses += tlb.stats().misses;
+  }
+  return agg;
+}
+
+void Hierarchy::access(unsigned tid, std::uint64_t addr, std::uint32_t bytes) noexcept {
+  ++total_accesses_;
+  const std::uint64_t first_line = addr >> line_shift_;
+  const std::uint64_t last_line = (addr + (bytes == 0 ? 0 : bytes - 1)) >> line_shift_;
+  const unsigned core = tid / threads_per_core_;
+  auto& stack = threads_[core];
+  for (std::uint64_t line = first_line; line <= last_line; ++line) {
+    bool hit = false;
+    std::uint64_t latency = 0;
+    if (!tlbs_.empty() &&
+        !tlbs_[core].access(line >> (page_shift_ - line_shift_))) {
+      latency += spec_.tlb_miss_latency;
+    }
+    for (auto& level : stack) {
+      latency += level.config().hit_latency;
+      if (level.access(line)) {
+        hit = true;
+        break;
+      }
+    }
+    if (!hit && spec_.prefetch_next_line && !stack.empty()) {
+      stack.back().install(line + 1);
+    }
+    if (!hit && llc_) {
+      latency += llc_->config().hit_latency;
+      hit = llc_->access(line);
+    }
+    if (!hit) {
+      latency += spec_.memory_latency;
+      ++memory_fills_;
+    }
+    cycles_[tid] += latency;
+  }
+}
+
+std::uint64_t Hierarchy::modeled_cycles_max() const noexcept {
+  std::uint64_t best = 0;
+  for (const auto c : cycles_) {
+    best = std::max(best, c);
+  }
+  return best;
+}
+
+std::uint64_t Hierarchy::modeled_cycles_total() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto c : cycles_) {
+    total += c;
+  }
+  return total;
+}
+
+std::uint64_t Hierarchy::counter(std::string_view name) const {
+  if (name == "PAPI_L3_TCA") {
+    if (!llc_) {
+      throw std::out_of_range("PAPI_L3_TCA requested on a platform without an L3");
+    }
+    return llc_->stats().accesses;
+  }
+  if (name == "L2_DATA_READ_MISS_MEM_FILL") {
+    // Misses of the last *private* level that had to be filled from beyond
+    // it. Without an LLC this equals memory_fills(); with one it is the
+    // LLC's access count — both reflect "reads escaping the private stack".
+    if (threads_.front().empty()) {
+      throw std::out_of_range("L2_DATA_READ_MISS_MEM_FILL requires private levels");
+    }
+    std::uint64_t total = 0;
+    for (const auto& stack : threads_) {
+      total += stack.back().stats().misses;
+    }
+    return total;
+  }
+  if (name == "MEM_FILLS") {
+    return memory_fills_;
+  }
+  if (name == "DTLB_MISS") {
+    if (tlbs_.empty()) {
+      throw std::out_of_range("DTLB_MISS requested but the TLB model is disabled");
+    }
+    return tlb_stats().misses;
+  }
+  throw std::out_of_range("unknown memsim counter: " + std::string(name));
+}
+
+std::vector<LevelStats> Hierarchy::level_stats() const {
+  std::vector<LevelStats> out;
+  const std::size_t levels = threads_.front().size();
+  for (std::size_t l = 0; l < levels; ++l) {
+    LevelStats agg;
+    agg.name = threads_.front()[l].config().name;
+    for (const auto& stack : threads_) {
+      agg.stats.accesses += stack[l].stats().accesses;
+      agg.stats.misses += stack[l].stats().misses;
+    }
+    out.push_back(std::move(agg));
+  }
+  if (llc_) {
+    out.push_back(LevelStats{llc_->config().name, llc_->stats()});
+  }
+  return out;
+}
+
+void Hierarchy::reset() noexcept {
+  for (auto& stack : threads_) {
+    for (auto& level : stack) {
+      level.reset();
+    }
+  }
+  for (auto& tlb : tlbs_) {
+    tlb.reset();
+  }
+  if (llc_) {
+    llc_->reset();
+  }
+  std::fill(cycles_.begin(), cycles_.end(), 0);
+  memory_fills_ = 0;
+  total_accesses_ = 0;
+}
+
+void Hierarchy::reset_stats() noexcept {
+  for (auto& stack : threads_) {
+    for (auto& level : stack) {
+      level.reset_stats();
+    }
+  }
+  for (auto& tlb : tlbs_) {
+    tlb.reset_stats();
+  }
+  if (llc_) {
+    llc_->reset_stats();
+  }
+  std::fill(cycles_.begin(), cycles_.end(), 0);
+  memory_fills_ = 0;
+  total_accesses_ = 0;
+}
+
+}  // namespace sfcvis::memsim

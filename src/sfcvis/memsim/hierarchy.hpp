@@ -1,0 +1,155 @@
+// Multi-level, multi-thread cache-hierarchy model.
+//
+// Each simulated thread owns private copies of the per-core levels (L1, L2);
+// an optional last-level cache is shared by all threads. Access streams are
+// replayed deterministically (the schedulers in sfcvis/threads interleave
+// work items round-robin), so counter values are exactly reproducible — an
+// improvement over hardware PAPI counts for regression purposes.
+//
+// Named counters follow the paper's two metrics:
+//   "PAPI_L3_TCA"                 — total accesses arriving at the shared
+//                                   LLC (= private-hierarchy misses);
+//                                   meaningful only when an LLC exists.
+//   "L2_DATA_READ_MISS_MEM_FILL"  — L2 misses filled from memory; on the
+//                                   MIC model (no L3) every L2 miss goes to
+//                                   memory, matching the paper's usage.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sfcvis/memsim/cache.hpp"
+
+namespace sfcvis::memsim {
+
+/// Full description of a platform's memory system.
+struct PlatformSpec {
+  std::string name;                         ///< e.g. "ivybridge"
+  std::vector<CacheConfig> private_levels;  ///< per-thread, nearest first
+  std::optional<CacheConfig> shared_llc;    ///< shared last-level cache
+  std::uint32_t memory_latency = 200;       ///< cycles for a fill from DRAM
+  /// Adjacent-line prefetcher model: on a miss in the last private level,
+  /// also install the next line there. Off by default — the paper's
+  /// platforms have stream prefetchers, but the study measures demand
+  /// locality; bench/abl_prefetch quantifies how much a next-line
+  /// prefetcher narrows the array-order gap.
+  bool prefetch_next_line = false;
+  /// Per-core data-TLB model (fully associative, LRU). 0 disables. The
+  /// paper's own example of the array-order problem — A[i,j] and A[i,j+1]
+  /// lying 4 KB apart — is a TLB-reach problem as much as a cache one:
+  /// against-the-grain sweeps touch a new page almost every access.
+  std::uint32_t tlb_entries = 0;
+  std::uint32_t page_bytes = 4096;
+  std::uint32_t tlb_miss_latency = 30;  ///< page-walk cycles added on a miss
+};
+
+/// Aggregated per-level statistics across all simulated threads.
+struct LevelStats {
+  std::string name;
+  CacheStats stats;
+};
+
+class Hierarchy;
+
+/// Binds (hierarchy, thread id) into an AccessSink for core::TracedView.
+class ThreadSink {
+ public:
+  ThreadSink(Hierarchy& hierarchy, unsigned tid) : hierarchy_(&hierarchy), tid_(tid) {}
+  inline void access(std::uint64_t addr, std::uint32_t bytes);
+  [[nodiscard]] unsigned tid() const noexcept { return tid_; }
+
+ private:
+  Hierarchy* hierarchy_;
+  unsigned tid_;
+};
+
+/// The modeled memory system for `num_threads` simulated threads.
+class Hierarchy {
+ public:
+  /// Builds the private stacks plus the shared LLC (if any).
+  ///
+  /// `threads_per_core` models SMT: that many consecutive thread ids share
+  /// one private-stack instance (one core's L1/L2). The paper's MIC runs
+  /// place up to 4 hardware threads per core, and its Fig. 6 discussion
+  /// attributes the drop in L2_DATA_READ_MISS at higher concurrency to
+  /// exactly this sharing.
+  Hierarchy(const PlatformSpec& spec, unsigned num_threads, unsigned threads_per_core = 1);
+
+  /// Replays one data access of `bytes` bytes at byte address `addr` issued
+  /// by simulated thread `tid`. Straddling accesses touch every covered
+  /// line.
+  void access(unsigned tid, std::uint64_t addr, std::uint32_t bytes) noexcept;
+
+  /// Sink for core::TracedView bound to one simulated thread.
+  [[nodiscard]] ThreadSink sink(unsigned tid) noexcept { return ThreadSink(*this, tid); }
+
+  /// Named counter lookup (see file comment). Throws std::out_of_range for
+  /// unknown names so misspelled metrics fail loudly in benches.
+  [[nodiscard]] std::uint64_t counter(std::string_view name) const;
+
+  /// Total accesses that fell through every modeled level to memory.
+  [[nodiscard]] std::uint64_t memory_fills() const noexcept { return memory_fills_; }
+
+  /// Aggregate dTLB statistics across cores (zeros when the model is off).
+  [[nodiscard]] CacheStats tlb_stats() const noexcept;
+
+  /// Total accesses replayed (across threads, before line splitting).
+  [[nodiscard]] std::uint64_t total_accesses() const noexcept { return total_accesses_; }
+
+  /// Modeled memory-stall cycles of one simulated thread: the sum of hit
+  /// latencies down to the level that served each access (memory_latency
+  /// for fills from DRAM). A simple in-order cost model — not a timing
+  /// simulator — whose purpose is to expose the memory-bound runtime
+  /// *shape* the paper measured at 512^3, which compute-bound native runs
+  /// at container-scale volumes cannot show (DESIGN.md Sec. 4).
+  [[nodiscard]] std::uint64_t modeled_cycles(unsigned tid) const noexcept {
+    return cycles_[tid];
+  }
+
+  /// Modeled parallel makespan: the maximum per-thread cycle count.
+  [[nodiscard]] std::uint64_t modeled_cycles_max() const noexcept;
+
+  /// Modeled total work: the sum of per-thread cycle counts.
+  [[nodiscard]] std::uint64_t modeled_cycles_total() const noexcept;
+
+  /// Per-level stats, private levels aggregated over threads, LLC last.
+  [[nodiscard]] std::vector<LevelStats> level_stats() const;
+
+  /// Invalidates all modeled caches and zeroes all counters.
+  void reset() noexcept;
+
+  /// Zeroes counters, keeping cache contents warm.
+  void reset_stats() noexcept;
+
+  [[nodiscard]] const PlatformSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] unsigned num_threads() const noexcept { return num_threads_; }
+  [[nodiscard]] unsigned num_cores() const noexcept {
+    return static_cast<unsigned>(threads_.size());
+  }
+
+ private:
+  PlatformSpec spec_;
+  unsigned num_threads_ = 0;
+  unsigned threads_per_core_ = 1;
+  unsigned line_shift_ = 6;
+  std::uint32_t line_bytes_ = 64;
+  // threads_[c] holds the private levels of core c; thread t uses core
+  // t / threads_per_core_.
+  std::vector<std::vector<Cache>> threads_;
+  std::vector<Cache> tlbs_;  ///< per-core dTLB models (empty when disabled)
+  unsigned page_shift_ = 12;
+  std::optional<Cache> llc_;
+  std::vector<std::uint64_t> cycles_;  ///< per-thread modeled stall cycles
+  std::uint64_t memory_fills_ = 0;
+  std::uint64_t total_accesses_ = 0;
+};
+
+inline void ThreadSink::access(std::uint64_t addr, std::uint32_t bytes) {
+  hierarchy_->access(tid_, addr, bytes);
+}
+
+}  // namespace sfcvis::memsim

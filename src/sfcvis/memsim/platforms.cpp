@@ -1,0 +1,90 @@
+#include "sfcvis/memsim/platforms.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sfcvis::memsim {
+
+PlatformSpec ivybridge() {
+  PlatformSpec spec;
+  spec.name = "ivybridge";
+  spec.private_levels = {
+      CacheConfig{"L1d", 64 * 1024, 64, 8, 4},
+      CacheConfig{"L2", 256 * 1024, 64, 8, 12},
+  };
+  // 30 MB is not a power-of-two set count at 20 ways; model 32 MB / 16-way
+  // which keeps sets a power of two while preserving the paper's "large
+  // shared LLC" role.
+  spec.shared_llc = CacheConfig{"L3", 32ull * 1024 * 1024, 64, 16, 36};
+  spec.memory_latency = 200;
+  spec.tlb_entries = 64;  // L1 dTLB reach: 256 KB of 4 KB pages
+  return spec;
+}
+
+PlatformSpec mic_knc() {
+  PlatformSpec spec;
+  spec.name = "mic";
+  spec.private_levels = {
+      CacheConfig{"L1d", 32 * 1024, 64, 8, 3},
+      CacheConfig{"L2", 512 * 1024, 64, 8, 24},
+  };
+  spec.shared_llc = std::nullopt;  // two-level hierarchy (paper Sec. IV-B1)
+  spec.memory_latency = 300;
+  spec.tlb_entries = 64;
+  return spec;
+}
+
+PlatformSpec tiny_test_platform() {
+  PlatformSpec spec;
+  spec.name = "tiny";
+  spec.private_levels = {
+      CacheConfig{"L1d", 1024, 64, 2, 4},
+      CacheConfig{"L2", 4096, 64, 4, 12},
+  };
+  spec.shared_llc = CacheConfig{"LLC", 16 * 1024, 64, 4, 36};
+  return spec;
+}
+
+PlatformSpec scaled(PlatformSpec spec, std::uint32_t divisor) {
+  if (divisor == 0 || (divisor & (divisor - 1)) != 0) {
+    throw std::invalid_argument("scaled: divisor must be a power of two");
+  }
+  auto shrink = [divisor](CacheConfig& level) {
+    const std::uint64_t min_size =
+        static_cast<std::uint64_t>(level.line_bytes) * level.associativity;
+    level.size_bytes = std::max<std::uint64_t>(level.size_bytes / divisor, min_size);
+    if (divisor > 1) {
+      level.name += "/" + std::to_string(divisor);
+    }
+  };
+  for (auto& level : spec.private_levels) {
+    shrink(level);
+  }
+  if (spec.shared_llc) {
+    shrink(*spec.shared_llc);
+  }
+  if (divisor > 1) {
+    spec.name += "-scaled" + std::to_string(divisor);
+    if (spec.tlb_entries > 0) {
+      // Keep TLB reach proportional to the cache scaling, floored so the
+      // model stays meaningful.
+      spec.tlb_entries = std::max<std::uint32_t>(spec.tlb_entries / divisor, 8);
+    }
+  }
+  return spec;
+}
+
+PlatformSpec platform_by_name(std::string_view name) {
+  if (name == "ivybridge") {
+    return ivybridge();
+  }
+  if (name == "mic") {
+    return mic_knc();
+  }
+  if (name == "tiny") {
+    return tiny_test_platform();
+  }
+  throw std::invalid_argument("unknown platform: " + std::string(name));
+}
+
+}  // namespace sfcvis::memsim

@@ -1,0 +1,35 @@
+// The two memory systems of the paper's test platforms (Sec. IV-A), plus a
+// tiny teaching configuration for unit tests and quick demos.
+#pragma once
+
+#include "sfcvis/memsim/hierarchy.hpp"
+
+namespace sfcvis::memsim {
+
+/// edison.nersc.gov node model: Intel Ivy Bridge. Per-core 64 KB L1 and
+/// 256 KB L2 (capacities as stated in the paper), 30 MB shared L3,
+/// 64-byte lines.
+[[nodiscard]] PlatformSpec ivybridge();
+
+/// babbage.nersc.gov accelerator model: Intel MIC / Knights Corner 5110P.
+/// Per-core 32 KB L1 and 512 KB L2, no L3, 64-byte lines — the two-level
+/// hierarchy the paper calls out when explaining the MIC counter choice.
+[[nodiscard]] PlatformSpec mic_knc();
+
+/// Deliberately tiny two-level hierarchy (1 KB L1 / 4 KB L2 / 16 KB LLC)
+/// so unit tests can provoke capacity behaviour with small footprints.
+[[nodiscard]] PlatformSpec tiny_test_platform();
+
+/// Looks a spec up by name ("ivybridge", "mic", "tiny"); throws
+/// std::invalid_argument for unknown names.
+[[nodiscard]] PlatformSpec platform_by_name(std::string_view name);
+
+/// Divides every cache capacity by `divisor` (a power of two), preserving
+/// line size and associativity — i.e. the set counts shrink. The benches
+/// use this to keep the paper's hierarchy *shape* while matching the
+/// cache:working-set ratio of the paper's 512^3 runs at container-friendly
+/// volume sizes (see DESIGN.md Sec. 4). Levels that would drop below one
+/// set are clamped to one set. Throws on non-power-of-two divisors.
+[[nodiscard]] PlatformSpec scaled(PlatformSpec spec, std::uint32_t divisor);
+
+}  // namespace sfcvis::memsim

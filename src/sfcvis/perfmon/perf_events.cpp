@@ -1,0 +1,114 @@
+#include "sfcvis/perfmon/perf_events.hpp"
+
+#include <utility>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cstring>
+#endif
+
+namespace sfcvis::perfmon {
+
+const char* to_string(Event e) noexcept {
+  switch (e) {
+    case Event::kCacheReferences:
+      return "cache-references";
+    case Event::kCacheMisses:
+      return "cache-misses";
+    case Event::kInstructions:
+      return "instructions";
+    case Event::kCycles:
+      return "cycles";
+  }
+  return "?";
+}
+
+#if defined(__linux__)
+
+namespace {
+
+std::uint64_t perf_config_for(Event e) noexcept {
+  switch (e) {
+    case Event::kCacheReferences:
+      return PERF_COUNT_HW_CACHE_REFERENCES;
+    case Event::kCacheMisses:
+      return PERF_COUNT_HW_CACHE_MISSES;
+    case Event::kInstructions:
+      return PERF_COUNT_HW_INSTRUCTIONS;
+    case Event::kCycles:
+      return PERF_COUNT_HW_CPU_CYCLES;
+  }
+  return PERF_COUNT_HW_CACHE_REFERENCES;
+}
+
+}  // namespace
+
+std::optional<PerfCounter> PerfCounter::open(Event event) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.type = PERF_TYPE_HARDWARE;
+  attr.size = sizeof(attr);
+  attr.config = perf_config_for(event);
+  attr.disabled = 1;
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  attr.inherit = 1;  // cover pool worker threads spawned after open
+  const int fd = static_cast<int>(
+      ::syscall(SYS_perf_event_open, &attr, 0 /*this thread*/, -1 /*any cpu*/,
+                -1 /*no group*/, 0UL));
+  if (fd < 0) {
+    return std::nullopt;
+  }
+  return PerfCounter(fd, event);
+}
+
+PerfCounter::~PerfCounter() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+void PerfCounter::start() {
+  ::ioctl(fd_, PERF_EVENT_IOC_RESET, 0);
+  ::ioctl(fd_, PERF_EVENT_IOC_ENABLE, 0);
+}
+
+std::uint64_t PerfCounter::stop() {
+  ::ioctl(fd_, PERF_EVENT_IOC_DISABLE, 0);
+  std::uint64_t count = 0;
+  if (::read(fd_, &count, sizeof(count)) != static_cast<ssize_t>(sizeof(count))) {
+    return 0;
+  }
+  return count;
+}
+
+#else  // non-Linux: never available
+
+std::optional<PerfCounter> PerfCounter::open(Event) { return std::nullopt; }
+PerfCounter::~PerfCounter() = default;
+void PerfCounter::start() {}
+std::uint64_t PerfCounter::stop() { return 0; }
+
+#endif
+
+PerfCounter::PerfCounter(PerfCounter&& other) noexcept
+    : fd_(other.fd_), event_(other.event_) {
+  other.fd_ = -1;
+}
+
+PerfCounter& PerfCounter::operator=(PerfCounter&& other) noexcept {
+  // Swap: other's destructor closes the descriptor we held before.
+  std::swap(fd_, other.fd_);
+  std::swap(event_, other.event_);
+  return *this;
+}
+
+bool PerfCounter::available() {
+  return PerfCounter::open(Event::kCacheReferences).has_value();
+}
+
+}  // namespace sfcvis::perfmon

@@ -1,0 +1,57 @@
+// Hardware performance counters via Linux perf_event_open.
+//
+// The paper collects PAPI counters on real hardware; this module is the
+// real-hardware counterpart to the memsim substitute. Containers and many
+// shared hosts deny perf_event_open, so availability is probed at runtime
+// and every bench falls back to memsim counters when the probe fails —
+// that decision is reported, never silent.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace sfcvis::perfmon {
+
+/// Counters the benches know how to interpret.
+enum class Event : std::uint8_t {
+  kCacheReferences,  ///< LLC accesses: the closest kin of PAPI_L3_TCA
+  kCacheMisses,      ///< LLC misses
+  kInstructions,
+  kCycles,
+};
+
+[[nodiscard]] const char* to_string(Event e) noexcept;
+
+/// One hardware counter. Move-only (owns a file descriptor).
+class PerfCounter {
+ public:
+  /// Opens a counter for the calling thread (+ its children). Returns
+  /// nullopt when the kernel refuses (no permission, no PMU, seccomp...).
+  [[nodiscard]] static std::optional<PerfCounter> open(Event event);
+
+  /// True when at least kCacheReferences can be opened in this process —
+  /// the probe benches use to pick the hardware or memsim path.
+  [[nodiscard]] static bool available();
+
+  PerfCounter(PerfCounter&& other) noexcept;
+  PerfCounter& operator=(PerfCounter&& other) noexcept;
+  PerfCounter(const PerfCounter&) = delete;
+  PerfCounter& operator=(const PerfCounter&) = delete;
+  ~PerfCounter();
+
+  /// Zeroes and enables the counter.
+  void start();
+
+  /// Disables the counter and returns the accumulated count.
+  [[nodiscard]] std::uint64_t stop();
+
+  [[nodiscard]] Event event() const noexcept { return event_; }
+
+ private:
+  PerfCounter(int fd, Event event) : fd_(fd), event_(event) {}
+  int fd_ = -1;
+  Event event_ = Event::kCacheReferences;
+};
+
+}  // namespace sfcvis::perfmon

@@ -1,0 +1,80 @@
+// Framebuffer, RGBA color, and the 32x32 image-tile decomposition the
+// renderer parallelizes over (paper Sec. III-B: tile size fixed at 32x32,
+// the size found consistently good in Bethel & Howison 2012; the tile-size
+// ablation bench revisits that choice).
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <vector>
+
+namespace sfcvis::render {
+
+/// Linear-space RGBA color with premultiplied-alpha compositing helpers.
+struct Rgba {
+  float r = 0, g = 0, b = 0, a = 0;
+
+  friend constexpr bool operator==(const Rgba&, const Rgba&) = default;
+
+  /// Front-to-back "over" composite: accumulates `back` under `*this`.
+  constexpr void composite_under(const Rgba& back) noexcept {
+    const float t = 1.0f - a;
+    r += t * back.r * back.a;
+    g += t * back.g * back.a;
+    b += t * back.b * back.a;
+    a += t * back.a;
+  }
+};
+
+/// Owning 2D RGBA image.
+class Image {
+ public:
+  Image() = default;
+  Image(std::uint32_t width, std::uint32_t height)
+      : width_(width), height_(height),
+        pixels_(static_cast<std::size_t>(width) * height) {}
+
+  [[nodiscard]] std::uint32_t width() const noexcept { return width_; }
+  [[nodiscard]] std::uint32_t height() const noexcept { return height_; }
+
+  [[nodiscard]] Rgba& at(std::uint32_t x, std::uint32_t y) noexcept {
+    return pixels_[static_cast<std::size_t>(y) * width_ + x];
+  }
+  [[nodiscard]] const Rgba& at(std::uint32_t x, std::uint32_t y) const noexcept {
+    return pixels_[static_cast<std::size_t>(y) * width_ + x];
+  }
+
+  [[nodiscard]] const std::vector<Rgba>& pixels() const noexcept { return pixels_; }
+
+ private:
+  std::uint32_t width_ = 0, height_ = 0;
+  std::vector<Rgba> pixels_;
+};
+
+/// Writes an 8-bit binary PPM (P6), compositing onto a black background.
+/// Throws std::runtime_error on IO failure.
+void write_ppm(const std::filesystem::path& path, const Image& image);
+
+/// One rectangular tile of the output image.
+struct Tile {
+  std::uint32_t x0 = 0, y0 = 0;  ///< inclusive upper-left pixel
+  std::uint32_t x1 = 0, y1 = 0;  ///< exclusive lower-right pixel
+};
+
+/// Fixed-size tiling of a width x height image; edge tiles are clipped.
+class TileDecomposition {
+ public:
+  TileDecomposition(std::uint32_t width, std::uint32_t height, std::uint32_t tile_size);
+
+  [[nodiscard]] std::size_t count() const noexcept {
+    return static_cast<std::size_t>(tiles_x_) * tiles_y_;
+  }
+  [[nodiscard]] Tile bounds(std::size_t index) const noexcept;
+  [[nodiscard]] std::uint32_t tile_size() const noexcept { return tile_size_; }
+
+ private:
+  std::uint32_t width_, height_, tile_size_;
+  std::uint32_t tiles_x_, tiles_y_;
+};
+
+}  // namespace sfcvis::render

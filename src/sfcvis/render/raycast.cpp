@@ -1,0 +1,38 @@
+#include "sfcvis/render/raycast.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace sfcvis::render {
+
+std::optional<std::pair<float, float>> intersect_box(const Ray& ray, Vec3 lo,
+                                                     Vec3 hi) noexcept {
+  float t0 = 0.0f;  // clip to the forward half of the ray
+  float t1 = std::numeric_limits<float>::max();
+  const float o[3] = {ray.origin.x, ray.origin.y, ray.origin.z};
+  const float d[3] = {ray.dir.x, ray.dir.y, ray.dir.z};
+  const float lov[3] = {lo.x, lo.y, lo.z};
+  const float hiv[3] = {hi.x, hi.y, hi.z};
+  for (int axis = 0; axis < 3; ++axis) {
+    if (d[axis] == 0.0f) {
+      if (o[axis] < lov[axis] || o[axis] > hiv[axis]) {
+        return std::nullopt;
+      }
+      continue;
+    }
+    const float inv = 1.0f / d[axis];
+    float ta = (lov[axis] - o[axis]) * inv;
+    float tb = (hiv[axis] - o[axis]) * inv;
+    if (ta > tb) {
+      std::swap(ta, tb);
+    }
+    t0 = std::max(t0, ta);
+    t1 = std::min(t1, tb);
+    if (t0 > t1) {
+      return std::nullopt;
+    }
+  }
+  return std::make_pair(t0, t1);
+}
+
+}  // namespace sfcvis::render

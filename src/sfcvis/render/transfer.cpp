@@ -1,0 +1,58 @@
+#include "sfcvis/render/transfer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sfcvis::render {
+
+TransferFunction::TransferFunction(std::vector<TransferPoint> points)
+    : points_(std::move(points)) {
+  if (points_.empty()) {
+    throw std::invalid_argument("TransferFunction: at least one control point required");
+  }
+  if (!std::is_sorted(points_.begin(), points_.end(),
+                      [](const auto& a, const auto& b) { return a.value < b.value; })) {
+    throw std::invalid_argument("TransferFunction: control points must be sorted by value");
+  }
+}
+
+Rgba TransferFunction::sample(float value) const noexcept {
+  if (value <= points_.front().value) {
+    return points_.front().color;
+  }
+  if (value >= points_.back().value) {
+    return points_.back().color;
+  }
+  // Find the bracketing segment (few points: linear scan beats binary
+  // search on branch prediction).
+  std::size_t hi = 1;
+  while (points_[hi].value < value) {
+    ++hi;
+  }
+  const auto& a = points_[hi - 1];
+  const auto& b = points_[hi];
+  const float t = (value - a.value) / (b.value - a.value);
+  return Rgba{a.color.r + t * (b.color.r - a.color.r),
+              a.color.g + t * (b.color.g - a.color.g),
+              a.color.b + t * (b.color.b - a.color.b),
+              a.color.a + t * (b.color.a - a.color.a)};
+}
+
+TransferFunction TransferFunction::flame() {
+  return TransferFunction({
+      {0.00f, {0.00f, 0.00f, 0.05f, 0.000f}},  // cold oxidizer: invisible
+      {0.15f, {0.05f, 0.02f, 0.30f, 0.004f}},  // faint blue fuel haze
+      {0.40f, {0.80f, 0.25f, 0.05f, 0.030f}},  // deep orange
+      {0.70f, {1.00f, 0.60f, 0.10f, 0.120f}},  // bright flame sheet
+      {1.00f, {1.00f, 0.95f, 0.80f, 0.250f}},  // white-hot core
+  });
+}
+
+TransferFunction TransferFunction::grayscale(float min_value, float max_value) {
+  return TransferFunction({
+      {min_value, {0.0f, 0.0f, 0.0f, 0.0f}},
+      {max_value, {1.0f, 1.0f, 1.0f, 0.08f}},
+  });
+}
+
+}  // namespace sfcvis::render

@@ -1,0 +1,41 @@
+// Transfer function mapping scalar data values to color and opacity —
+// the standard volume-rendering classification stage (Levoy 1988; Drebin
+// et al. 1988, both cited by the paper).
+#pragma once
+
+#include <vector>
+
+#include "sfcvis/render/image.hpp"
+
+namespace sfcvis::render {
+
+/// One control point of a piecewise-linear transfer function.
+struct TransferPoint {
+  float value = 0;  ///< scalar data value
+  Rgba color;       ///< color + opacity at that value (straight alpha)
+};
+
+/// Piecewise-linear color/opacity map over scalar values.
+class TransferFunction {
+ public:
+  /// Control points must be sorted by value (validated; throws
+  /// std::invalid_argument otherwise). At least one point is required.
+  explicit TransferFunction(std::vector<TransferPoint> points);
+
+  /// Linearly interpolated RGBA at `value`; clamps outside the range.
+  [[nodiscard]] Rgba sample(float value) const noexcept;
+
+  /// Flame-style map for combustion-like [0, 1] fields: transparent cold
+  /// regions, glowing orange sheet, bright white core.
+  [[nodiscard]] static TransferFunction flame();
+
+  /// Grayscale map with linear opacity ramp for MRI-like data.
+  [[nodiscard]] static TransferFunction grayscale(float min_value, float max_value);
+
+  [[nodiscard]] const std::vector<TransferPoint>& points() const noexcept { return points_; }
+
+ private:
+  std::vector<TransferPoint> points_;
+};
+
+}  // namespace sfcvis::render

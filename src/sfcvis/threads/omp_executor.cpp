@@ -1,0 +1,54 @@
+#include "sfcvis/threads/omp_executor.hpp"
+
+#include <cstdint>
+
+#if defined(_OPENMP)
+#include <omp.h>
+#endif
+
+namespace sfcvis::threads {
+
+#if defined(_OPENMP)
+
+bool openmp_available() noexcept { return true; }
+
+unsigned openmp_max_threads() noexcept {
+  return static_cast<unsigned>(omp_get_max_threads());
+}
+
+bool parallel_for_omp_static(unsigned num_threads, std::size_t num_items,
+                             const std::function<void(std::size_t, unsigned)>& fn) {
+  const auto count = static_cast<std::int64_t>(num_items);
+#pragma omp parallel for schedule(static) num_threads(num_threads)
+  for (std::int64_t item = 0; item < count; ++item) {
+    fn(static_cast<std::size_t>(item), static_cast<unsigned>(omp_get_thread_num()));
+  }
+  return true;
+}
+
+bool parallel_for_omp_dynamic(unsigned num_threads, std::size_t num_items,
+                              const std::function<void(std::size_t, unsigned)>& fn) {
+  const auto count = static_cast<std::int64_t>(num_items);
+#pragma omp parallel for schedule(dynamic, 1) num_threads(num_threads)
+  for (std::int64_t item = 0; item < count; ++item) {
+    fn(static_cast<std::size_t>(item), static_cast<unsigned>(omp_get_thread_num()));
+  }
+  return true;
+}
+
+#else
+
+bool openmp_available() noexcept { return false; }
+unsigned openmp_max_threads() noexcept { return 0; }
+bool parallel_for_omp_static(unsigned, std::size_t,
+                             const std::function<void(std::size_t, unsigned)>&) {
+  return false;
+}
+bool parallel_for_omp_dynamic(unsigned, std::size_t,
+                              const std::function<void(std::size_t, unsigned)>&) {
+  return false;
+}
+
+#endif
+
+}  // namespace sfcvis::threads

@@ -1,0 +1,36 @@
+// Optional OpenMP execution of the same work-assignment shapes the Pool
+// provides.
+//
+// The paper (Sec. III) argues for raw POSIX threads over "compiler-assisted
+// approaches, like OpenMP" because (a) the renderer's best strategy is a
+// dynamic worker pool and (b) the MIC's thread controls were
+// pthreads-only. Point (b) is historical; point (a) is measurable —
+// bench/abl_scheduler runs the identical kernels under the Pool's static
+// and dynamic schedulers and under OpenMP static/dynamic `for` schedules
+// so the claim can be re-examined on current runtimes.
+//
+// Compiled to runtime no-ops returning false when OpenMP is unavailable;
+// callers must check openmp_available().
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace sfcvis::threads {
+
+/// True when this build can execute the omp_* entry points.
+[[nodiscard]] bool openmp_available() noexcept;
+
+/// Max threads the OpenMP runtime would use.
+[[nodiscard]] unsigned openmp_max_threads() noexcept;
+
+/// schedule(static) loop over [0, num_items) with `num_threads` threads;
+/// fn(item, thread_num). Returns false when OpenMP is unavailable.
+bool parallel_for_omp_static(unsigned num_threads, std::size_t num_items,
+                             const std::function<void(std::size_t, unsigned)>& fn);
+
+/// schedule(dynamic, 1): OpenMP's analogue of the worker-pool model.
+bool parallel_for_omp_dynamic(unsigned num_threads, std::size_t num_items,
+                              const std::function<void(std::size_t, unsigned)>& fn);
+
+}  // namespace sfcvis::threads

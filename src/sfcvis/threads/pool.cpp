@@ -1,0 +1,94 @@
+#include "sfcvis/threads/pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace sfcvis::threads {
+
+bool Pool::pin_current_thread([[maybe_unused]] unsigned cpu) noexcept {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu, &set);
+  return ::pthread_setaffinity_np(::pthread_self(), sizeof(set), &set) == 0;
+#else
+  return false;
+#endif
+}
+
+Pool::Pool(unsigned num_threads, Affinity affinity) : num_threads_(num_threads) {
+  if (num_threads == 0) {
+    throw std::invalid_argument("Pool: num_threads must be >= 1");
+  }
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  std::atomic<unsigned> pinned{0};
+  workers_.reserve(num_threads);
+  for (unsigned t = 0; t < num_threads; ++t) {
+    workers_.emplace_back([this, t, hw, affinity, &pinned] {
+      if (affinity == Affinity::kCompact && pin_current_thread(t % hw)) {
+        pinned.fetch_add(1, std::memory_order_relaxed);
+      }
+      worker_main(t);
+    });
+  }
+  if (affinity == Affinity::kCompact) {
+    // Workers signal readiness through the first region; pin results are
+    // stable once each worker has started. Run an empty region to join on
+    // startup so affinity_applied_ is meaningful immediately.
+    run([](unsigned) {});
+    affinity_applied_ = pinned.load(std::memory_order_relaxed) == num_threads;
+  }
+}
+
+Pool::~Pool() {
+  {
+    const std::lock_guard lock(mutex_);
+    shutdown_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& w : workers_) {
+    w.join();
+  }
+}
+
+void Pool::run(const std::function<void(unsigned)>& job) {
+  std::unique_lock lock(mutex_);
+  job_ = &job;
+  running_ = num_threads_;
+  ++generation_;
+  start_cv_.notify_all();
+  done_cv_.wait(lock, [this] { return running_ == 0; });
+  job_ = nullptr;
+}
+
+void Pool::worker_main(unsigned tid) {
+  std::uint64_t seen_generation = 0;
+  while (true) {
+    const std::function<void(unsigned)>* job = nullptr;
+    {
+      std::unique_lock lock(mutex_);
+      start_cv_.wait(lock,
+                     [&] { return shutdown_ || generation_ != seen_generation; });
+      if (shutdown_) {
+        return;
+      }
+      seen_generation = generation_;
+      job = job_;
+    }
+    (*job)(tid);
+    {
+      const std::lock_guard lock(mutex_);
+      if (--running_ == 0) {
+        done_cv_.notify_one();
+      }
+    }
+  }
+}
+
+}  // namespace sfcvis::threads

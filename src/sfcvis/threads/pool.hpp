@@ -1,0 +1,72 @@
+// A persistent worker-thread pool with fork/join parallel regions.
+//
+// The paper's implementations use raw POSIX threads (Sec. III) because (a)
+// the raycaster's best-performing work-assignment strategy is a dynamic
+// worker pool that "doesn't lend itself to automatic loop parallelization"
+// and (b) the MIC platform exposed thread-management controls only through
+// pthreads. std::thread is the standard C++ veneer over pthreads on every
+// platform we target; this pool keeps the workers alive across parallel
+// regions so per-region cost is two synchronizations, not thread churn.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sfcvis::threads {
+
+/// How workers are pinned to hardware CPUs.
+enum class Affinity : std::uint8_t {
+  kNone,     ///< scheduler decides (default)
+  kCompact,  ///< worker t pinned to cpu t % hw_cpus — the "compact" mapping
+             ///< the paper used on Ivy Bridge (Sec. IV-B5): up to 12
+             ///< threads stay on one socket
+};
+
+/// Fixed-size pool executing fork/join parallel regions.
+class Pool {
+ public:
+  /// Spawns `num_threads` workers (>= 1). Thread ids passed to jobs are
+  /// 0..num_threads-1. Affinity pinning is best-effort: unsupported
+  /// platforms or denied syscalls silently fall back to kNone, reported
+  /// by affinity_applied().
+  explicit Pool(unsigned num_threads, Affinity affinity = Affinity::kNone);
+
+  /// Joins all workers.
+  ~Pool();
+
+  Pool(const Pool&) = delete;
+  Pool& operator=(const Pool&) = delete;
+
+  /// Runs `job(tid)` once on every worker and returns when all have
+  /// finished (a fork/join region). Exceptions escaping a job terminate, as
+  /// with raw pthreads; kernels report errors through their results.
+  void run(const std::function<void(unsigned)>& job);
+
+  [[nodiscard]] unsigned size() const noexcept { return num_threads_; }
+
+  /// True when every worker was successfully pinned.
+  [[nodiscard]] bool affinity_applied() const noexcept { return affinity_applied_; }
+
+ private:
+  void worker_main(unsigned tid);
+  static bool pin_current_thread(unsigned cpu) noexcept;
+
+  unsigned num_threads_;
+  bool affinity_applied_ = false;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(unsigned)>* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  unsigned running_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace sfcvis::threads

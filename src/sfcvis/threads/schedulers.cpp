@@ -1,0 +1,25 @@
+#include "sfcvis/threads/schedulers.hpp"
+
+namespace sfcvis::threads {
+
+void parallel_for_dynamic(Pool& pool, std::size_t num_items,
+                          const std::function<void(std::size_t, unsigned)>& fn) {
+  WorkQueue queue(num_items);
+  pool.run([&](unsigned tid) {
+    while (auto item = queue.pop()) {
+      fn(*item, tid);
+    }
+  });
+}
+
+void parallel_for_static(Pool& pool, std::size_t num_items,
+                         const std::function<void(std::size_t, unsigned)>& fn) {
+  const unsigned num_threads = pool.size();
+  pool.run([&, num_threads](unsigned tid) {
+    for (std::size_t item = tid; item < num_items; item += num_threads) {
+      fn(item, tid);
+    }
+  });
+}
+
+}  // namespace sfcvis::threads

@@ -1,0 +1,176 @@
+// Tests for stats / tables / options, plus perfmon probing.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "sfcvis/bench_util/options.hpp"
+#include "sfcvis/bench_util/stats.hpp"
+#include "sfcvis/bench_util/table.hpp"
+#include "sfcvis/perfmon/perf_events.hpp"
+
+namespace bench = sfcvis::bench_util;
+namespace perfmon = sfcvis::perfmon;
+
+// ---------------------------------------------------------------------------
+// Scaled relative difference (Eq. 4)
+// ---------------------------------------------------------------------------
+
+TEST(ScaledRelDiff, MatchesPaperSemantics) {
+  // ds = 0.1 means a is 10% larger than z; 1.0 means 100%; 10.0 means
+  // 1000% (the paper's own examples in Sec. IV-B2).
+  EXPECT_NEAR(bench::scaled_relative_difference(1.1, 1.0), 0.1, 1e-12);
+  EXPECT_DOUBLE_EQ(bench::scaled_relative_difference(2.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(bench::scaled_relative_difference(11.0, 1.0), 10.0);
+}
+
+TEST(ScaledRelDiff, NegativeWhenArrayOrderWins) {
+  EXPECT_LT(bench::scaled_relative_difference(0.9, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(bench::scaled_relative_difference(0.5, 1.0), -0.5);
+}
+
+TEST(ScaledRelDiff, ZeroBaselineIsGuarded) {
+  EXPECT_DOUBLE_EQ(bench::scaled_relative_difference(5.0, 0.0), 0.0);
+}
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  const bench::Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double s = timer.seconds();
+  EXPECT_GE(s, 0.015);
+  EXPECT_LT(s, 5.0);
+}
+
+TEST(MinTimeOf, PicksTheFastestRep) {
+  int calls = 0;
+  const double t = bench::min_time_of(3, [&] {
+    ++calls;
+    std::this_thread::sleep_for(std::chrono::milliseconds(calls == 2 ? 1 : 30));
+  });
+  EXPECT_EQ(calls, 3);
+  EXPECT_LT(t, 0.025);
+}
+
+// ---------------------------------------------------------------------------
+// ResultTable
+// ---------------------------------------------------------------------------
+
+TEST(ResultTableTest, StoresAndRendersCells) {
+  bench::ResultTable table("Fig X", {"r1 px xyz", "r5 pz zyx"}, {"2", "4"});
+  table.set(0, 0, -0.02);
+  table.set(0, 1, -0.03);
+  table.set(1, 0, 2.23);
+  table.set(1, 1, 2.21);
+  EXPECT_DOUBLE_EQ(table.at(1, 0), 2.23);
+  const std::string text = table.to_text(2);
+  EXPECT_NE(text.find("Fig X"), std::string::npos);
+  EXPECT_NE(text.find("r5 pz zyx"), std::string::npos);
+  EXPECT_NE(text.find("2.23"), std::string::npos);
+  EXPECT_NE(text.find("-0.02"), std::string::npos);
+}
+
+TEST(ResultTableTest, CsvShape) {
+  bench::ResultTable table("t", {"a", "b"}, {"c1", "c2", "c3"});
+  table.set(1, 2, 42.5);
+  const std::string csv = table.to_csv(1);
+  EXPECT_EQ(csv, "row,c1,c2,c3\na,0.0,0.0,0.0\nb,0.0,0.0,42.5\n");
+}
+
+TEST(ResultTableTest, WriteCsvRoundTrips) {
+  bench::ResultTable table("t", {"a"}, {"x"});
+  table.set(0, 0, 1.25);
+  const auto path = std::filesystem::temp_directory_path() / "sfcvis_table.csv";
+  table.write_csv(path, 2);
+  std::ifstream in(path);
+  std::string line1, line2;
+  std::getline(in, line1);
+  std::getline(in, line2);
+  EXPECT_EQ(line1, "row,x");
+  EXPECT_EQ(line2, "a,1.25");
+}
+
+TEST(ResultTableTest, OutOfRangeThrows) {
+  bench::ResultTable table("t", {"a"}, {"x"});
+  EXPECT_THROW(table.set(1, 0, 0.0), std::out_of_range);
+  EXPECT_THROW(table.set(0, 1, 0.0), std::out_of_range);
+  EXPECT_THROW((void)table.at(2, 0), std::out_of_range);
+}
+
+// ---------------------------------------------------------------------------
+// Options
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bench::Options make_options(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"bench"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return bench::Options(static_cast<int>(argv.size()), argv.data());
+}
+
+}  // namespace
+
+TEST(OptionsTest, ParsesTypedValues) {
+  const auto opts = make_options({"--size=64", "--step=0.25", "--platform=mic", "--quick"});
+  EXPECT_EQ(opts.get_u32("size", 0), 64u);
+  EXPECT_DOUBLE_EQ(opts.get_double("step", 0.0), 0.25);
+  EXPECT_EQ(opts.get_string("platform", ""), "mic");
+  EXPECT_TRUE(opts.get_flag("quick"));
+  EXPECT_FALSE(opts.get_flag("verbose"));
+}
+
+TEST(OptionsTest, FallbacksWhenAbsent) {
+  const auto opts = make_options({});
+  EXPECT_EQ(opts.get_u32("size", 128u), 128u);
+  EXPECT_DOUBLE_EQ(opts.get_double("step", 0.5), 0.5);
+  EXPECT_EQ(opts.get_string("platform", "ivybridge"), "ivybridge");
+  EXPECT_EQ(opts.get_u32_list("threads", {2, 4}), (std::vector<std::uint32_t>{2, 4}));
+}
+
+TEST(OptionsTest, ParsesLists) {
+  const auto opts = make_options({"--threads=2,4,6,8,10,12,18,24"});
+  EXPECT_EQ(opts.get_u32_list("threads", {}),
+            (std::vector<std::uint32_t>{2, 4, 6, 8, 10, 12, 18, 24}));
+}
+
+TEST(OptionsTest, RejectsMalformedInput) {
+  EXPECT_THROW(make_options({"positional"}), std::invalid_argument);
+  EXPECT_THROW(make_options({"-s=1"}), std::invalid_argument);
+  const auto opts = make_options({"--size=abc", "--threads=2,x"});
+  EXPECT_THROW((void)opts.get_u32("size", 0), std::invalid_argument);
+  EXPECT_THROW((void)opts.get_u32_list("threads", {}), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// perfmon
+// ---------------------------------------------------------------------------
+
+TEST(Perfmon, EventNames) {
+  EXPECT_STREQ(perfmon::to_string(perfmon::Event::kCacheReferences), "cache-references");
+  EXPECT_STREQ(perfmon::to_string(perfmon::Event::kCycles), "cycles");
+}
+
+TEST(Perfmon, ProbeDoesNotCrashAndIsConsistent) {
+  // Whether counters are permitted is host policy; the contract is that the
+  // probe is safe, stable, and matches open()'s behaviour.
+  const bool avail = perfmon::PerfCounter::available();
+  EXPECT_EQ(avail, perfmon::PerfCounter::available());
+  auto counter = perfmon::PerfCounter::open(perfmon::Event::kCacheReferences);
+  EXPECT_EQ(avail, counter.has_value());
+}
+
+TEST(Perfmon, CountsWorkWhenAvailable) {
+  auto counter = perfmon::PerfCounter::open(perfmon::Event::kInstructions);
+  if (!counter) {
+    GTEST_SKIP() << "perf_event_open not permitted here (expected in containers); "
+                    "benches fall back to memsim counters";
+  }
+  counter->start();
+  volatile double sink = 0;
+  for (int n = 0; n < 100000; ++n) {
+    sink = sink + 1.0;
+  }
+  const auto count = counter->stop();
+  EXPECT_GT(count, 100000u);
+}

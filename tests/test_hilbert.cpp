@@ -1,0 +1,93 @@
+// Tests for the 3D Hilbert codec (src/sfcvis/core/hilbert.*).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <random>
+#include <vector>
+
+#include "sfcvis/core/hilbert.hpp"
+
+namespace core = sfcvis::core;
+
+TEST(Hilbert, SingleBitIsGrayCodeOrder) {
+  // At 1 bit per axis the curve visits the 8 cube corners so consecutive
+  // cells differ in exactly one coordinate.
+  core::Coord3D prev = core::hilbert_decode_3d(0, 1);
+  for (std::uint64_t h = 1; h < 8; ++h) {
+    const auto c = core::hilbert_decode_3d(h, 1);
+    const int d = std::abs(int(c.i) - int(prev.i)) + std::abs(int(c.j) - int(prev.j)) +
+                  std::abs(int(c.k) - int(prev.k));
+    EXPECT_EQ(d, 1) << "step " << h;
+    prev = c;
+  }
+}
+
+TEST(Hilbert, RoundTripExhaustiveSmall) {
+  for (unsigned bits = 1; bits <= 4; ++bits) {
+    const std::uint32_t n = 1u << bits;
+    for (std::uint32_t z = 0; z < n; ++z) {
+      for (std::uint32_t y = 0; y < n; ++y) {
+        for (std::uint32_t x = 0; x < n; ++x) {
+          const auto h = core::hilbert_encode_3d(x, y, z, bits);
+          EXPECT_EQ(core::hilbert_decode_3d(h, bits), (core::Coord3D{x, y, z}));
+        }
+      }
+    }
+  }
+}
+
+TEST(Hilbert, RoundTripRandomLargeBits) {
+  std::mt19937 rng(60);
+  for (unsigned bits : {8u, 12u, 16u, 21u}) {
+    std::uniform_int_distribution<std::uint32_t> dist(0, (1u << bits) - 1);
+    for (int s = 0; s < 5000; ++s) {
+      const std::uint32_t x = dist(rng), y = dist(rng), z = dist(rng);
+      const auto h = core::hilbert_encode_3d(x, y, z, bits);
+      EXPECT_EQ(core::hilbert_decode_3d(h, bits), (core::Coord3D{x, y, z}));
+    }
+  }
+}
+
+TEST(Hilbert, IsBijectionOnCube) {
+  const unsigned bits = 4;  // 16^3 = 4096 cells
+  const std::uint32_t n = 1u << bits;
+  std::vector<bool> seen(std::size_t{n} * n * n, false);
+  for (std::uint32_t z = 0; z < n; ++z) {
+    for (std::uint32_t y = 0; y < n; ++y) {
+      for (std::uint32_t x = 0; x < n; ++x) {
+        const auto h = core::hilbert_encode_3d(x, y, z, bits);
+        ASSERT_LT(h, seen.size());
+        EXPECT_FALSE(seen[h]);
+        seen[h] = true;
+      }
+    }
+  }
+}
+
+TEST(Hilbert, ConsecutiveIndicesAreFaceNeighbours) {
+  // The defining Hilbert property (and its advantage over Z-order, which
+  // has jumps): the curve is a Hamiltonian path on the grid graph.
+  const unsigned bits = 5;  // 32^3
+  core::Coord3D prev = core::hilbert_decode_3d(0, bits);
+  const std::uint64_t total = 1ull << (3 * bits);
+  for (std::uint64_t h = 1; h < total; ++h) {
+    const auto c = core::hilbert_decode_3d(h, bits);
+    const int d = std::abs(int(c.i) - int(prev.i)) + std::abs(int(c.j) - int(prev.j)) +
+                  std::abs(int(c.k) - int(prev.k));
+    ASSERT_EQ(d, 1) << "discontinuity at h=" << h;
+    prev = c;
+  }
+}
+
+TEST(Hilbert, StartsAtOrigin) {
+  for (unsigned bits = 1; bits <= 8; ++bits) {
+    EXPECT_EQ(core::hilbert_decode_3d(0, bits), (core::Coord3D{0, 0, 0}));
+    EXPECT_EQ(core::hilbert_encode_3d(0, 0, 0, bits), 0u);
+  }
+}
+
+TEST(Hilbert, ZeroBitsDegenerates) {
+  EXPECT_EQ(core::hilbert_encode_3d(0, 0, 0, 0), 0u);
+  EXPECT_EQ(core::hilbert_decode_3d(0, 0), (core::Coord3D{0, 0, 0}));
+}

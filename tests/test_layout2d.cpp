@@ -1,0 +1,181 @@
+// Tests for the 2D layouts, Grid2D, and the 2D bilateral filter.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sfcvis/core/grid2d.hpp"
+#include "sfcvis/core/morton.hpp"
+#include "sfcvis/filters/bilateral2d.hpp"
+
+namespace core = sfcvis::core;
+namespace filters = sfcvis::filters;
+namespace threads = sfcvis::threads;
+
+using core::ArrayOrderLayout2D;
+using core::Extents2D;
+using core::Grid2D;
+using core::TiledLayout2D;
+using core::ZOrderLayout2D;
+
+template <class L>
+class Layout2DTypedTest : public ::testing::Test {};
+
+using All2DLayouts = ::testing::Types<ArrayOrderLayout2D, ZOrderLayout2D, TiledLayout2D>;
+TYPED_TEST_SUITE(Layout2DTypedTest, All2DLayouts);
+
+TYPED_TEST(Layout2DTypedTest, InjectiveAndInBounds) {
+  for (const Extents2D e : {Extents2D{16, 16}, Extents2D{13, 7}, Extents2D{64, 2},
+                            Extents2D{1, 1}}) {
+    const TypeParam layout(e);
+    std::vector<bool> seen(layout.required_capacity(), false);
+    for (std::uint32_t j = 0; j < e.ny; ++j) {
+      for (std::uint32_t i = 0; i < e.nx; ++i) {
+        const auto idx = layout.index(i, j);
+        ASSERT_LT(idx, seen.size());
+        ASSERT_FALSE(seen[idx]);
+        seen[idx] = true;
+      }
+    }
+    EXPECT_GE(layout.required_capacity(), e.size());
+  }
+}
+
+TYPED_TEST(Layout2DTypedTest, RejectsZeroExtent) {
+  EXPECT_THROW(TypeParam(Extents2D{0, 4}), std::invalid_argument);
+  EXPECT_THROW(TypeParam(Extents2D{4, 0}), std::invalid_argument);
+}
+
+TEST(ZOrder2D, MatchesMortonOnPow2Square) {
+  const Extents2D e = Extents2D::square(32);
+  const ZOrderLayout2D layout(e);
+  for (std::uint32_t j = 0; j < e.ny; ++j) {
+    for (std::uint32_t i = 0; i < e.nx; ++i) {
+      ASSERT_EQ(layout.index(i, j), core::morton_encode_2d(i, j));
+    }
+  }
+  EXPECT_EQ(layout.required_capacity(), e.size());
+}
+
+TEST(ZOrder2D, AnisotropicIsCompact) {
+  // 64x2: padded extents are already pow2 -> capacity equals size.
+  const ZOrderLayout2D layout(Extents2D{64, 2});
+  EXPECT_EQ(layout.required_capacity(), 128u);
+}
+
+TEST(ArrayOrder2D, ClosedForm) {
+  const ArrayOrderLayout2D layout(Extents2D{10, 4});
+  EXPECT_EQ(layout.index(0, 0), 0u);
+  EXPECT_EQ(layout.index(9, 0), 9u);
+  EXPECT_EQ(layout.index(0, 1), 10u);
+  EXPECT_EQ(layout.index(9, 3), 39u);
+}
+
+TEST(Tiled2D, IntraTileContiguity) {
+  const TiledLayout2D layout(Extents2D::square(16), 4);
+  EXPECT_EQ(layout.index(1, 0), layout.index(0, 0) + 1);
+  EXPECT_EQ(layout.index(4, 0), 16u);  // next tile starts a fresh block
+  EXPECT_THROW(TiledLayout2D(Extents2D::square(16), 3), std::invalid_argument);
+}
+
+TEST(Grid2DTest, FillReadClampConvert) {
+  const Extents2D e{9, 6};
+  Grid2D<float, ArrayOrderLayout2D> a(e);
+  a.fill_from([](std::uint32_t i, std::uint32_t j) {
+    return static_cast<float>(i + 100 * j);
+  });
+  EXPECT_EQ(a.at(3, 4), 403.0f);
+  EXPECT_EQ(a.at_clamped(-2, 2), 200.0f);
+  EXPECT_EQ(a.at_clamped(20, 7), 508.0f);
+
+  const auto z = core::convert_layout2d<ZOrderLayout2D>(a);
+  const auto t = core::convert_layout2d<TiledLayout2D>(z);
+  const auto back = core::convert_layout2d<ArrayOrderLayout2D>(t);
+  a.for_each_index([&](std::uint32_t i, std::uint32_t j) {
+    ASSERT_EQ(back.at(i, j), a.at(i, j));
+  });
+}
+
+TEST(Grid2DTest, ZeroInitializedAndAligned) {
+  const Grid2D<float, ZOrderLayout2D> g(Extents2D{12, 12});
+  g.for_each_index([&](std::uint32_t i, std::uint32_t j) { ASSERT_EQ(g.at(i, j), 0.0f); });
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(g.data()) % core::kCacheLineBytes, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// 2D bilateral filter
+// ---------------------------------------------------------------------------
+
+namespace {
+
+template <class GridT>
+void fill_noisy_edge(GridT& g) {
+  g.fill_from([](std::uint32_t i, std::uint32_t j) {
+    const float base = i < 8 ? 0.2f : 0.8f;
+    const std::uint32_t h = (i * 73856093u) ^ (j * 19349663u);
+    return base + (static_cast<float>(h % 1000) / 1000.0f - 0.5f) * 0.06f;
+  });
+}
+
+}  // namespace
+
+TEST(Bilateral2D, IdentityOnConstantImage) {
+  const Extents2D e{16, 16};
+  Grid2D<float, ArrayOrderLayout2D> src(e), dst(e);
+  src.fill_from([](auto, auto) { return 0.5f; });
+  threads::Pool pool(2);
+  filters::bilateral2d_parallel(src, dst, {}, pool);
+  dst.for_each_index([&](std::uint32_t i, std::uint32_t j) {
+    ASSERT_NEAR(dst.at(i, j), 0.5f, 1e-6f);
+  });
+}
+
+TEST(Bilateral2D, LayoutAndPencilTransparent) {
+  const Extents2D e{17, 11};
+  Grid2D<float, ArrayOrderLayout2D> src(e), expected(e), got(e);
+  fill_noisy_edge(src);
+  const auto src_z = core::convert_layout2d<ZOrderLayout2D>(src);
+  const auto src_t = core::convert_layout2d<TiledLayout2D>(src);
+  threads::Pool pool(3);
+  filters::Bilateral2DParams params{1, 1.5f, 0.15f, filters::PencilAxis::kX};
+  filters::bilateral2d_parallel(src, expected, params, pool);
+
+  params.pencil = filters::PencilAxis::kY;
+  filters::bilateral2d_parallel(src_z, got, params, pool);
+  expected.for_each_index([&](std::uint32_t i, std::uint32_t j) {
+    ASSERT_NEAR(got.at(i, j), expected.at(i, j), 1e-6f);
+  });
+  filters::bilateral2d_parallel(src_t, got, params, pool);
+  expected.for_each_index([&](std::uint32_t i, std::uint32_t j) {
+    ASSERT_NEAR(got.at(i, j), expected.at(i, j), 1e-6f);
+  });
+}
+
+TEST(Bilateral2D, SmoothsNoiseAndKeepsEdge) {
+  const Extents2D e{16, 16};
+  Grid2D<float, ArrayOrderLayout2D> src(e), dst(e);
+  fill_noisy_edge(src);
+  threads::Pool pool(2);
+  filters::bilateral2d_parallel(src, dst, {2, 2.0f, 0.15f, filters::PencilAxis::kX}, pool);
+  // Noise within the left region shrinks ...
+  auto variance = [&](const auto& g) {
+    double sum = 0, sum2 = 0;
+    int n = 0;
+    for (std::uint32_t j = 2; j < 14; ++j) {
+      for (std::uint32_t i = 2; i < 6; ++i) {
+        sum += g.at(i, j);
+        sum2 += g.at(i, j) * g.at(i, j);
+        ++n;
+      }
+    }
+    const double mean = sum / n;
+    return sum2 / n - mean * mean;
+  };
+  EXPECT_LT(variance(dst), 0.3 * variance(src));
+  // ... while the step edge at i = 7|8 survives.
+  double edge = 0;
+  for (std::uint32_t j = 0; j < 16; ++j) {
+    edge += std::abs(dst.at(8, j) - dst.at(7, j));
+  }
+  EXPECT_GT(edge / 16.0, 0.35);
+}

@@ -1,0 +1,201 @@
+// Tests for the Z-curve range-query machinery (BIGMIN/LITMAX) and the
+// curve-order traversals built on it.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+#include <vector>
+
+#include "sfcvis/core/grid.hpp"
+#include "sfcvis/core/zquery.hpp"
+
+namespace core = sfcvis::core;
+
+using core::Coord3D;
+using core::Extents3D;
+
+namespace {
+
+/// Brute-force reference: all in-box codes greater than z, sorted.
+std::uint64_t brute_bigmin(std::uint64_t z, const Coord3D& lo, const Coord3D& hi) {
+  std::uint64_t best = ~std::uint64_t{0};
+  for (std::uint32_t k = lo.k; k <= hi.k; ++k) {
+    for (std::uint32_t j = lo.j; j <= hi.j; ++j) {
+      for (std::uint32_t i = lo.i; i <= hi.i; ++i) {
+        const auto code = core::morton_encode_3d(i, j, k);
+        if (code > z && code < best) {
+          best = code;
+        }
+      }
+    }
+  }
+  return best;
+}
+
+std::uint64_t brute_litmax(std::uint64_t z, const Coord3D& lo, const Coord3D& hi) {
+  std::uint64_t best = 0;
+  for (std::uint32_t k = lo.k; k <= hi.k; ++k) {
+    for (std::uint32_t j = lo.j; j <= hi.j; ++j) {
+      for (std::uint32_t i = lo.i; i <= hi.i; ++i) {
+        const auto code = core::morton_encode_3d(i, j, k);
+        if (code < z && code > best) {
+          best = code;
+        }
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+TEST(MortonInBox, BasicMembership) {
+  const Coord3D lo{1, 2, 3}, hi{4, 5, 6};
+  EXPECT_TRUE(core::morton_in_box_3d(core::morton_encode_3d(1, 2, 3), lo, hi));
+  EXPECT_TRUE(core::morton_in_box_3d(core::morton_encode_3d(4, 5, 6), lo, hi));
+  EXPECT_TRUE(core::morton_in_box_3d(core::morton_encode_3d(2, 3, 4), lo, hi));
+  EXPECT_FALSE(core::morton_in_box_3d(core::morton_encode_3d(0, 2, 3), lo, hi));
+  EXPECT_FALSE(core::morton_in_box_3d(core::morton_encode_3d(5, 5, 6), lo, hi));
+  EXPECT_FALSE(core::morton_in_box_3d(core::morton_encode_3d(1, 2, 7), lo, hi));
+}
+
+TEST(BigMin, MatchesBruteForceOnRandomBoxes) {
+  std::mt19937 rng(77);
+  std::uniform_int_distribution<std::uint32_t> coord(0, 15);
+  for (int trial = 0; trial < 200; ++trial) {
+    Coord3D lo{coord(rng), coord(rng), coord(rng)};
+    Coord3D hi{coord(rng), coord(rng), coord(rng)};
+    if (hi.i < lo.i) std::swap(lo.i, hi.i);
+    if (hi.j < lo.j) std::swap(lo.j, hi.j);
+    if (hi.k < lo.k) std::swap(lo.k, hi.k);
+    const auto zmin = core::morton_encode_3d(lo.i, lo.j, lo.k);
+    const auto zmax = core::morton_encode_3d(hi.i, hi.j, hi.k);
+    // Probe a handful of z positions strictly below zmax.
+    std::uniform_int_distribution<std::uint64_t> zd(0, zmax == 0 ? 0 : zmax - 1);
+    for (int probe = 0; probe < 10; ++probe) {
+      const std::uint64_t z = zd(rng);
+      const auto expected = brute_bigmin(z, lo, hi);
+      if (expected == ~std::uint64_t{0}) {
+        continue;  // nothing above z inside the box
+      }
+      EXPECT_EQ(core::morton_bigmin_3d(z, zmin, zmax), expected)
+          << "z=" << z << " box=(" << lo.i << "," << lo.j << "," << lo.k << ")-(" << hi.i
+          << "," << hi.j << "," << hi.k << ")";
+    }
+  }
+}
+
+TEST(LitMax, MatchesBruteForceOnRandomBoxes) {
+  std::mt19937 rng(78);
+  std::uniform_int_distribution<std::uint32_t> coord(0, 15);
+  for (int trial = 0; trial < 200; ++trial) {
+    Coord3D lo{coord(rng), coord(rng), coord(rng)};
+    Coord3D hi{coord(rng), coord(rng), coord(rng)};
+    if (hi.i < lo.i) std::swap(lo.i, hi.i);
+    if (hi.j < lo.j) std::swap(lo.j, hi.j);
+    if (hi.k < lo.k) std::swap(lo.k, hi.k);
+    const auto zmin = core::morton_encode_3d(lo.i, lo.j, lo.k);
+    const auto zmax = core::morton_encode_3d(hi.i, hi.j, hi.k);
+    std::uniform_int_distribution<std::uint64_t> zd(zmin + 1, zmax + 64);
+    for (int probe = 0; probe < 10; ++probe) {
+      const std::uint64_t z = zd(rng);
+      const auto expected = brute_litmax(z, lo, hi);
+      if (expected == 0 && !core::morton_in_box_3d(0, lo, hi)) {
+        continue;  // nothing below z inside the box
+      }
+      EXPECT_EQ(core::morton_litmax_3d(z, zmin, zmax), expected) << "z=" << z;
+    }
+  }
+}
+
+TEST(BigMin, SkipsDeadSegmentEfficiently) {
+  // Classic example: box (1,1,*)..(3,3,*) on one plane; after code of
+  // (3,1) the curve leaves the box for a long stretch.
+  const Coord3D lo{1, 1, 0}, hi{3, 3, 0};
+  const auto z = core::morton_encode_3d(3, 1, 0);
+  const auto next = core::morton_bigmin_3d(z, core::morton_encode_3d(1, 1, 0),
+                                           core::morton_encode_3d(3, 3, 0));
+  const auto c = core::morton_decode_3d(next);
+  EXPECT_TRUE(core::morton_in_box_3d(next, lo, hi));
+  EXPECT_GT(next, z);
+  // The next in-box point after (3,1,0) on the Z curve is (1,2,0).
+  EXPECT_EQ(c, (core::MortonCoord3D{1, 2, 0}));
+}
+
+TEST(ForEachInBox, VisitsExactlyTheBoxInCurveOrder) {
+  const Coord3D lo{2, 1, 3}, hi{9, 6, 5};
+  std::vector<std::uint64_t> codes;
+  std::set<std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>> seen;
+  core::for_each_morton_in_box(lo, hi, [&](std::uint64_t code, const Coord3D& c) {
+    codes.push_back(code);
+    seen.insert({c.i, c.j, c.k});
+    EXPECT_TRUE(core::morton_in_box_3d(code, lo, hi));
+  });
+  const std::size_t expected_count =
+      std::size_t(hi.i - lo.i + 1) * (hi.j - lo.j + 1) * (hi.k - lo.k + 1);
+  EXPECT_EQ(codes.size(), expected_count);
+  EXPECT_EQ(seen.size(), expected_count);
+  EXPECT_TRUE(std::is_sorted(codes.begin(), codes.end()));
+}
+
+TEST(ForEachInBox, SinglePointBox) {
+  int visits = 0;
+  core::for_each_morton_in_box(Coord3D{5, 6, 7}, Coord3D{5, 6, 7},
+                               [&](std::uint64_t code, const Coord3D& c) {
+                                 ++visits;
+                                 EXPECT_EQ(code, core::morton_encode_3d(5, 6, 7));
+                                 EXPECT_EQ(c, (Coord3D{5, 6, 7}));
+                               });
+  EXPECT_EQ(visits, 1);
+}
+
+TEST(ForEachInBox, OriginCornerBox) {
+  std::size_t visits = 0;
+  core::for_each_morton_in_box(Coord3D{0, 0, 0}, Coord3D{7, 7, 7},
+                               [&](std::uint64_t code, const Coord3D&) {
+                                 EXPECT_EQ(code, visits);  // dense prefix of the curve
+                                 ++visits;
+                               });
+  EXPECT_EQ(visits, 512u);
+}
+
+TEST(ForEachZOrder, CoversLogicalExtentsExactlyOnce) {
+  for (const Extents3D e : {Extents3D{8, 8, 8}, Extents3D{5, 5, 5}, Extents3D{6, 3, 2},
+                            Extents3D{16, 4, 1}}) {
+    core::Grid3D<int, core::ArrayOrderLayout> cover(e);
+    core::for_each_zorder(e, [&](std::uint32_t i, std::uint32_t j, std::uint32_t k) {
+      ASSERT_TRUE(e.contains(i, j, k));
+      cover.at(i, j, k) += 1;
+    });
+    cover.for_each_index([&](std::uint32_t i, std::uint32_t j, std::uint32_t k) {
+      ASSERT_EQ(cover.at(i, j, k), 1) << e.nx << "x" << e.ny << "x" << e.nz;
+    });
+  }
+}
+
+TEST(ForEachZOrder, VisitsInMonotoneStorageOrder) {
+  // On a Z-order grid the traversal must touch strictly increasing storage
+  // offsets — the property that makes it the cache-optimal sweep.
+  const Extents3D e{8, 8, 8};
+  const core::ZOrderLayout layout(e);
+  std::int64_t prev = -1;
+  core::for_each_zorder(e, [&](std::uint32_t i, std::uint32_t j, std::uint32_t k) {
+    const auto idx = static_cast<std::int64_t>(layout.index(i, j, k));
+    ASSERT_GT(idx, prev);
+    prev = idx;
+  });
+}
+
+TEST(ForEachZOrder, AnisotropicAlsoMonotone) {
+  const Extents3D e{16, 4, 2};
+  const core::ZOrderLayout layout(e);
+  std::int64_t prev = -1;
+  std::size_t count = 0;
+  core::for_each_zorder(e, [&](std::uint32_t i, std::uint32_t j, std::uint32_t k) {
+    const auto idx = static_cast<std::int64_t>(layout.index(i, j, k));
+    ASSERT_GT(idx, prev);
+    prev = idx;
+    ++count;
+  });
+  EXPECT_EQ(count, e.size());
+}

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Render the bench harness's CSV tables as terminal heat-tables.
+
+The fig*/abl_* binaries write one CSV per table when run with
+`--csv-dir=DIR`. This script recreates the paper's figure style in the
+terminal: green shades where Z-order wins (positive ds), red where array
+order wins, intensity by magnitude.
+
+Usage:
+    tools/plot_results.py results/                 # all tables
+    tools/plot_results.py results/volrend_ivybridge_counter_ds.csv
+"""
+
+import csv
+import math
+import pathlib
+import sys
+
+
+def shade(value: float, lo: float, hi: float) -> str:
+    """ANSI background for one cell: green positive, red negative."""
+    if value >= 0:
+        level = 0 if hi <= 0 else min(1.0, value / hi)
+        code = 22 + int(level * 3) * 36  # dark greens 22, 58... use 256-color greens
+        green = [0, 22, 28, 34, 40][min(4, int(level * 4) + (1 if level > 0 else 0))]
+        return f"\033[48;5;{green}m" if green else ""
+    level = 0 if lo >= 0 else min(1.0, value / lo)
+    red = [0, 52, 88, 124, 160][min(4, int(level * 4) + (1 if level > 0 else 0))]
+    return f"\033[48;5;{red}m" if red else ""
+
+
+def render(path: pathlib.Path) -> None:
+    with path.open() as handle:
+        rows = list(csv.reader(handle))
+    if not rows or len(rows) < 2:
+        print(f"{path}: empty table")
+        return
+    header, body = rows[0], rows[1:]
+    values = [[float(cell) for cell in row[1:]] for row in body]
+    flat = [v for row in values for v in row if not math.isnan(v)]
+    lo, hi = min(flat), max(flat)
+    label_width = max(len(row[0]) for row in body + [header])
+    cell_width = max(7, max(len(h) for h in header[1:]) + 1)
+
+    print(f"\n== {path.name} ==")
+    print(" " * label_width + "".join(h.rjust(cell_width) for h in header[1:]))
+    reset = "\033[0m"
+    for row, vals in zip(body, values):
+        line = row[0].ljust(label_width)
+        for v in vals:
+            line += shade(v, lo, hi) + f"{v:{cell_width}.2f}" + reset
+        print(line)
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(__doc__)
+        return 2
+    target = pathlib.Path(sys.argv[1])
+    paths = sorted(target.glob("*.csv")) if target.is_dir() else [target]
+    if not paths:
+        print(f"no CSV tables under {target}")
+        return 1
+    for path in paths:
+        render(path)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
