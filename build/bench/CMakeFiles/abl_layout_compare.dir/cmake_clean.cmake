@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_layout_compare.dir/abl_layout_compare.cpp.o"
+  "CMakeFiles/abl_layout_compare.dir/abl_layout_compare.cpp.o.d"
+  "abl_layout_compare"
+  "abl_layout_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_layout_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

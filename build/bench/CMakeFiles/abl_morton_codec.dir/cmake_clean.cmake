@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_morton_codec.dir/abl_morton_codec.cpp.o"
+  "CMakeFiles/abl_morton_codec.dir/abl_morton_codec.cpp.o.d"
+  "abl_morton_codec"
+  "abl_morton_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_morton_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_pencil_order.dir/abl_pencil_order.cpp.o"
+  "CMakeFiles/abl_pencil_order.dir/abl_pencil_order.cpp.o.d"
+  "abl_pencil_order"
+  "abl_pencil_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_pencil_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_pencil_order.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_prefetch.dir/abl_prefetch.cpp.o"
+  "CMakeFiles/abl_prefetch.dir/abl_prefetch.cpp.o.d"
+  "abl_prefetch"
+  "abl_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_projection.dir/abl_projection.cpp.o"
+  "CMakeFiles/abl_projection.dir/abl_projection.cpp.o.d"
+  "abl_projection"
+  "abl_projection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_projection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_scheduler.dir/abl_scheduler.cpp.o"
+  "CMakeFiles/abl_scheduler.dir/abl_scheduler.cpp.o.d"
+  "abl_scheduler"
+  "abl_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_tile_size.dir/abl_tile_size.cpp.o"
+  "CMakeFiles/abl_tile_size.dir/abl_tile_size.cpp.o.d"
+  "abl_tile_size"
+  "abl_tile_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_tile_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_traversal.dir/abl_traversal.cpp.o"
+  "CMakeFiles/abl_traversal.dir/abl_traversal.cpp.o.d"
+  "abl_traversal"
+  "abl_traversal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_traversal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for abl_traversal.
+# This may be replaced when dependencies are built.

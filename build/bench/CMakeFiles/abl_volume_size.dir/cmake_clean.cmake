@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_volume_size.dir/abl_volume_size.cpp.o"
+  "CMakeFiles/abl_volume_size.dir/abl_volume_size.cpp.o.d"
+  "abl_volume_size"
+  "abl_volume_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_volume_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

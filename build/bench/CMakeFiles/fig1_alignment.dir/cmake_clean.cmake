@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_alignment.dir/fig1_alignment.cpp.o"
+  "CMakeFiles/fig1_alignment.dir/fig1_alignment.cpp.o.d"
+  "fig1_alignment"
+  "fig1_alignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_alignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_bilateral_ivybridge.dir/fig2_bilateral_ivybridge.cpp.o"
+  "CMakeFiles/fig2_bilateral_ivybridge.dir/fig2_bilateral_ivybridge.cpp.o.d"
+  "fig2_bilateral_ivybridge"
+  "fig2_bilateral_ivybridge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_bilateral_ivybridge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

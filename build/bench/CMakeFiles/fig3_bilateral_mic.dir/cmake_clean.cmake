@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_bilateral_mic.dir/fig3_bilateral_mic.cpp.o"
+  "CMakeFiles/fig3_bilateral_mic.dir/fig3_bilateral_mic.cpp.o.d"
+  "fig3_bilateral_mic"
+  "fig3_bilateral_mic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_bilateral_mic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

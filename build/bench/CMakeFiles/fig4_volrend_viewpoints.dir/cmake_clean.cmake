@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_volrend_viewpoints.dir/fig4_volrend_viewpoints.cpp.o"
+  "CMakeFiles/fig4_volrend_viewpoints.dir/fig4_volrend_viewpoints.cpp.o.d"
+  "fig4_volrend_viewpoints"
+  "fig4_volrend_viewpoints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_volrend_viewpoints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_volrend_viewpoints.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_volrend_ivybridge.dir/fig5_volrend_ivybridge.cpp.o"
+  "CMakeFiles/fig5_volrend_ivybridge.dir/fig5_volrend_ivybridge.cpp.o.d"
+  "fig5_volrend_ivybridge"
+  "fig5_volrend_ivybridge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_volrend_ivybridge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_volrend_mic.dir/fig6_volrend_mic.cpp.o"
+  "CMakeFiles/fig6_volrend_mic.dir/fig6_volrend_mic.cpp.o.d"
+  "fig6_volrend_mic"
+  "fig6_volrend_mic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_volrend_mic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/denoise_image.dir/denoise_image.cpp.o"
+  "CMakeFiles/denoise_image.dir/denoise_image.cpp.o.d"
+  "denoise_image"
+  "denoise_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/denoise_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

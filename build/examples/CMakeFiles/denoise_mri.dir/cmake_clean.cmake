@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/denoise_mri.dir/denoise_mri.cpp.o"
+  "CMakeFiles/denoise_mri.dir/denoise_mri.cpp.o.d"
+  "denoise_mri"
+  "denoise_mri.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/denoise_mri.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for denoise_mri.
+# This may be replaced when dependencies are built.

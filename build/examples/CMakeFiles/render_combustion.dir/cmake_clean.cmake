@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/render_combustion.dir/render_combustion.cpp.o"
+  "CMakeFiles/render_combustion.dir/render_combustion.cpp.o.d"
+  "render_combustion"
+  "render_combustion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/render_combustion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

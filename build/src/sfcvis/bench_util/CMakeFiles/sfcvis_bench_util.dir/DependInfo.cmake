@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sfcvis/bench_util/options.cpp" "src/sfcvis/bench_util/CMakeFiles/sfcvis_bench_util.dir/options.cpp.o" "gcc" "src/sfcvis/bench_util/CMakeFiles/sfcvis_bench_util.dir/options.cpp.o.d"
+  "/root/repo/src/sfcvis/bench_util/table.cpp" "src/sfcvis/bench_util/CMakeFiles/sfcvis_bench_util.dir/table.cpp.o" "gcc" "src/sfcvis/bench_util/CMakeFiles/sfcvis_bench_util.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sfcvis/core/CMakeFiles/sfcvis_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfcvis_bench_util.dir/options.cpp.o"
+  "CMakeFiles/sfcvis_bench_util.dir/options.cpp.o.d"
+  "CMakeFiles/sfcvis_bench_util.dir/table.cpp.o"
+  "CMakeFiles/sfcvis_bench_util.dir/table.cpp.o.d"
+  "libsfcvis_bench_util.a"
+  "libsfcvis_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfcvis_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sfcvis/core/hilbert.cpp" "src/sfcvis/core/CMakeFiles/sfcvis_core.dir/hilbert.cpp.o" "gcc" "src/sfcvis/core/CMakeFiles/sfcvis_core.dir/hilbert.cpp.o.d"
+  "/root/repo/src/sfcvis/core/indexer.cpp" "src/sfcvis/core/CMakeFiles/sfcvis_core.dir/indexer.cpp.o" "gcc" "src/sfcvis/core/CMakeFiles/sfcvis_core.dir/indexer.cpp.o.d"
+  "/root/repo/src/sfcvis/core/morton.cpp" "src/sfcvis/core/CMakeFiles/sfcvis_core.dir/morton.cpp.o" "gcc" "src/sfcvis/core/CMakeFiles/sfcvis_core.dir/morton.cpp.o.d"
+  "/root/repo/src/sfcvis/core/zorder_tables.cpp" "src/sfcvis/core/CMakeFiles/sfcvis_core.dir/zorder_tables.cpp.o" "gcc" "src/sfcvis/core/CMakeFiles/sfcvis_core.dir/zorder_tables.cpp.o.d"
+  "/root/repo/src/sfcvis/core/zquery.cpp" "src/sfcvis/core/CMakeFiles/sfcvis_core.dir/zquery.cpp.o" "gcc" "src/sfcvis/core/CMakeFiles/sfcvis_core.dir/zquery.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

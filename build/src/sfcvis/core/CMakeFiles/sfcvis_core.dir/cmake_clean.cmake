@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfcvis_core.dir/hilbert.cpp.o"
+  "CMakeFiles/sfcvis_core.dir/hilbert.cpp.o.d"
+  "CMakeFiles/sfcvis_core.dir/indexer.cpp.o"
+  "CMakeFiles/sfcvis_core.dir/indexer.cpp.o.d"
+  "CMakeFiles/sfcvis_core.dir/morton.cpp.o"
+  "CMakeFiles/sfcvis_core.dir/morton.cpp.o.d"
+  "CMakeFiles/sfcvis_core.dir/zorder_tables.cpp.o"
+  "CMakeFiles/sfcvis_core.dir/zorder_tables.cpp.o.d"
+  "CMakeFiles/sfcvis_core.dir/zquery.cpp.o"
+  "CMakeFiles/sfcvis_core.dir/zquery.cpp.o.d"
+  "libsfcvis_core.a"
+  "libsfcvis_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfcvis_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sfcvis/data/combustion.cpp" "src/sfcvis/data/CMakeFiles/sfcvis_data.dir/combustion.cpp.o" "gcc" "src/sfcvis/data/CMakeFiles/sfcvis_data.dir/combustion.cpp.o.d"
+  "/root/repo/src/sfcvis/data/noise.cpp" "src/sfcvis/data/CMakeFiles/sfcvis_data.dir/noise.cpp.o" "gcc" "src/sfcvis/data/CMakeFiles/sfcvis_data.dir/noise.cpp.o.d"
+  "/root/repo/src/sfcvis/data/phantom.cpp" "src/sfcvis/data/CMakeFiles/sfcvis_data.dir/phantom.cpp.o" "gcc" "src/sfcvis/data/CMakeFiles/sfcvis_data.dir/phantom.cpp.o.d"
+  "/root/repo/src/sfcvis/data/volume_io.cpp" "src/sfcvis/data/CMakeFiles/sfcvis_data.dir/volume_io.cpp.o" "gcc" "src/sfcvis/data/CMakeFiles/sfcvis_data.dir/volume_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sfcvis/core/CMakeFiles/sfcvis_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfcvis_data.dir/combustion.cpp.o"
+  "CMakeFiles/sfcvis_data.dir/combustion.cpp.o.d"
+  "CMakeFiles/sfcvis_data.dir/noise.cpp.o"
+  "CMakeFiles/sfcvis_data.dir/noise.cpp.o.d"
+  "CMakeFiles/sfcvis_data.dir/phantom.cpp.o"
+  "CMakeFiles/sfcvis_data.dir/phantom.cpp.o.d"
+  "CMakeFiles/sfcvis_data.dir/volume_io.cpp.o"
+  "CMakeFiles/sfcvis_data.dir/volume_io.cpp.o.d"
+  "libsfcvis_data.a"
+  "libsfcvis_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfcvis_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

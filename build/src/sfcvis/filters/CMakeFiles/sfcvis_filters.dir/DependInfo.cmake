@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sfcvis/filters/bilateral.cpp" "src/sfcvis/filters/CMakeFiles/sfcvis_filters.dir/bilateral.cpp.o" "gcc" "src/sfcvis/filters/CMakeFiles/sfcvis_filters.dir/bilateral.cpp.o.d"
+  "/root/repo/src/sfcvis/filters/gaussian.cpp" "src/sfcvis/filters/CMakeFiles/sfcvis_filters.dir/gaussian.cpp.o" "gcc" "src/sfcvis/filters/CMakeFiles/sfcvis_filters.dir/gaussian.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sfcvis/core/CMakeFiles/sfcvis_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sfcvis/memsim/CMakeFiles/sfcvis_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sfcvis/threads/CMakeFiles/sfcvis_threads.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfcvis_filters.dir/bilateral.cpp.o"
+  "CMakeFiles/sfcvis_filters.dir/bilateral.cpp.o.d"
+  "CMakeFiles/sfcvis_filters.dir/gaussian.cpp.o"
+  "CMakeFiles/sfcvis_filters.dir/gaussian.cpp.o.d"
+  "libsfcvis_filters.a"
+  "libsfcvis_filters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfcvis_filters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sfcvis_filters.
+# This may be replaced when dependencies are built.

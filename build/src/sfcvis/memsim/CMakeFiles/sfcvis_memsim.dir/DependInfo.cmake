@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sfcvis/memsim/cache.cpp" "src/sfcvis/memsim/CMakeFiles/sfcvis_memsim.dir/cache.cpp.o" "gcc" "src/sfcvis/memsim/CMakeFiles/sfcvis_memsim.dir/cache.cpp.o.d"
+  "/root/repo/src/sfcvis/memsim/hierarchy.cpp" "src/sfcvis/memsim/CMakeFiles/sfcvis_memsim.dir/hierarchy.cpp.o" "gcc" "src/sfcvis/memsim/CMakeFiles/sfcvis_memsim.dir/hierarchy.cpp.o.d"
+  "/root/repo/src/sfcvis/memsim/platforms.cpp" "src/sfcvis/memsim/CMakeFiles/sfcvis_memsim.dir/platforms.cpp.o" "gcc" "src/sfcvis/memsim/CMakeFiles/sfcvis_memsim.dir/platforms.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sfcvis/core/CMakeFiles/sfcvis_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfcvis_memsim.dir/cache.cpp.o"
+  "CMakeFiles/sfcvis_memsim.dir/cache.cpp.o.d"
+  "CMakeFiles/sfcvis_memsim.dir/hierarchy.cpp.o"
+  "CMakeFiles/sfcvis_memsim.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/sfcvis_memsim.dir/platforms.cpp.o"
+  "CMakeFiles/sfcvis_memsim.dir/platforms.cpp.o.d"
+  "libsfcvis_memsim.a"
+  "libsfcvis_memsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfcvis_memsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsfcvis_memsim.a"
+)

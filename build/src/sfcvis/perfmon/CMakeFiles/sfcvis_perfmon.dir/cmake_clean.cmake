@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfcvis_perfmon.dir/perf_events.cpp.o"
+  "CMakeFiles/sfcvis_perfmon.dir/perf_events.cpp.o.d"
+  "libsfcvis_perfmon.a"
+  "libsfcvis_perfmon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfcvis_perfmon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

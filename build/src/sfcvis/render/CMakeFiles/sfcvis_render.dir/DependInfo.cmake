@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sfcvis/render/camera.cpp" "src/sfcvis/render/CMakeFiles/sfcvis_render.dir/camera.cpp.o" "gcc" "src/sfcvis/render/CMakeFiles/sfcvis_render.dir/camera.cpp.o.d"
+  "/root/repo/src/sfcvis/render/image.cpp" "src/sfcvis/render/CMakeFiles/sfcvis_render.dir/image.cpp.o" "gcc" "src/sfcvis/render/CMakeFiles/sfcvis_render.dir/image.cpp.o.d"
+  "/root/repo/src/sfcvis/render/raycast.cpp" "src/sfcvis/render/CMakeFiles/sfcvis_render.dir/raycast.cpp.o" "gcc" "src/sfcvis/render/CMakeFiles/sfcvis_render.dir/raycast.cpp.o.d"
+  "/root/repo/src/sfcvis/render/transfer.cpp" "src/sfcvis/render/CMakeFiles/sfcvis_render.dir/transfer.cpp.o" "gcc" "src/sfcvis/render/CMakeFiles/sfcvis_render.dir/transfer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sfcvis/core/CMakeFiles/sfcvis_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sfcvis/memsim/CMakeFiles/sfcvis_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sfcvis/threads/CMakeFiles/sfcvis_threads.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

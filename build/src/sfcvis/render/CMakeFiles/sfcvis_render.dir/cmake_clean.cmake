@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfcvis_render.dir/camera.cpp.o"
+  "CMakeFiles/sfcvis_render.dir/camera.cpp.o.d"
+  "CMakeFiles/sfcvis_render.dir/image.cpp.o"
+  "CMakeFiles/sfcvis_render.dir/image.cpp.o.d"
+  "CMakeFiles/sfcvis_render.dir/raycast.cpp.o"
+  "CMakeFiles/sfcvis_render.dir/raycast.cpp.o.d"
+  "CMakeFiles/sfcvis_render.dir/transfer.cpp.o"
+  "CMakeFiles/sfcvis_render.dir/transfer.cpp.o.d"
+  "libsfcvis_render.a"
+  "libsfcvis_render.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfcvis_render.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sfcvis_render.
+# This may be replaced when dependencies are built.

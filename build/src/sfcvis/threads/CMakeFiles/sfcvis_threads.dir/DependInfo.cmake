@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sfcvis/threads/omp_executor.cpp" "src/sfcvis/threads/CMakeFiles/sfcvis_threads.dir/omp_executor.cpp.o" "gcc" "src/sfcvis/threads/CMakeFiles/sfcvis_threads.dir/omp_executor.cpp.o.d"
+  "/root/repo/src/sfcvis/threads/pool.cpp" "src/sfcvis/threads/CMakeFiles/sfcvis_threads.dir/pool.cpp.o" "gcc" "src/sfcvis/threads/CMakeFiles/sfcvis_threads.dir/pool.cpp.o.d"
+  "/root/repo/src/sfcvis/threads/schedulers.cpp" "src/sfcvis/threads/CMakeFiles/sfcvis_threads.dir/schedulers.cpp.o" "gcc" "src/sfcvis/threads/CMakeFiles/sfcvis_threads.dir/schedulers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

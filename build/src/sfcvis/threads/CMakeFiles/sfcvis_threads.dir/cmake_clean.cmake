@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfcvis_threads.dir/omp_executor.cpp.o"
+  "CMakeFiles/sfcvis_threads.dir/omp_executor.cpp.o.d"
+  "CMakeFiles/sfcvis_threads.dir/pool.cpp.o"
+  "CMakeFiles/sfcvis_threads.dir/pool.cpp.o.d"
+  "CMakeFiles/sfcvis_threads.dir/schedulers.cpp.o"
+  "CMakeFiles/sfcvis_threads.dir/schedulers.cpp.o.d"
+  "libsfcvis_threads.a"
+  "libsfcvis_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfcvis_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

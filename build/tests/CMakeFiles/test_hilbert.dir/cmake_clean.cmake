@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hilbert.dir/test_hilbert.cpp.o"
+  "CMakeFiles/test_hilbert.dir/test_hilbert.cpp.o.d"
+  "test_hilbert"
+  "test_hilbert.pdb"
+  "test_hilbert[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hilbert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

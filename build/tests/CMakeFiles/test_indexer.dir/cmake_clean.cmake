@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_indexer.dir/test_indexer.cpp.o"
+  "CMakeFiles/test_indexer.dir/test_indexer.cpp.o.d"
+  "test_indexer"
+  "test_indexer.pdb"
+  "test_indexer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_indexer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernels_extra.dir/test_kernels_extra.cpp.o"
+  "CMakeFiles/test_kernels_extra.dir/test_kernels_extra.cpp.o.d"
+  "test_kernels_extra"
+  "test_kernels_extra.pdb"
+  "test_kernels_extra[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernels_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

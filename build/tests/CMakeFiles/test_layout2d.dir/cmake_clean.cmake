@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_layout2d.dir/test_layout2d.cpp.o"
+  "CMakeFiles/test_layout2d.dir/test_layout2d.cpp.o.d"
+  "test_layout2d"
+  "test_layout2d.pdb"
+  "test_layout2d[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_layout2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_layout2d.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_morton.dir/test_morton.cpp.o"
+  "CMakeFiles/test_morton.dir/test_morton.cpp.o.d"
+  "test_morton"
+  "test_morton.pdb"
+  "test_morton[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_morton.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_regression.cpp" "tests/CMakeFiles/test_regression.dir/test_regression.cpp.o" "gcc" "tests/CMakeFiles/test_regression.dir/test_regression.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sfcvis/perfmon/CMakeFiles/sfcvis_perfmon.dir/DependInfo.cmake"
+  "/root/repo/build/src/sfcvis/data/CMakeFiles/sfcvis_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/sfcvis/filters/CMakeFiles/sfcvis_filters.dir/DependInfo.cmake"
+  "/root/repo/build/src/sfcvis/render/CMakeFiles/sfcvis_render.dir/DependInfo.cmake"
+  "/root/repo/build/src/sfcvis/memsim/CMakeFiles/sfcvis_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sfcvis/threads/CMakeFiles/sfcvis_threads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sfcvis/bench_util/CMakeFiles/sfcvis_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sfcvis/core/CMakeFiles/sfcvis_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zquery.dir/test_zquery.cpp.o"
+  "CMakeFiles/test_zquery.dir/test_zquery.cpp.o.d"
+  "test_zquery"
+  "test_zquery.pdb"
+  "test_zquery[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zquery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

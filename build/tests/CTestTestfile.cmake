@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_morton[1]_include.cmake")
+include("/root/repo/build/tests/test_hilbert[1]_include.cmake")
+include("/root/repo/build/tests/test_layout[1]_include.cmake")
+include("/root/repo/build/tests/test_grid[1]_include.cmake")
+include("/root/repo/build/tests/test_indexer[1]_include.cmake")
+include("/root/repo/build/tests/test_memsim[1]_include.cmake")
+include("/root/repo/build/tests/test_threads[1]_include.cmake")
+include("/root/repo/build/tests/test_data[1]_include.cmake")
+include("/root/repo/build/tests/test_filters[1]_include.cmake")
+include("/root/repo/build/tests/test_render[1]_include.cmake")
+include("/root/repo/build/tests/test_bench_util[1]_include.cmake")
+include("/root/repo/build/tests/test_zquery[1]_include.cmake")
+include("/root/repo/build/tests/test_kernels_extra[1]_include.cmake")
+include("/root/repo/build/tests/test_layout2d[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_regression[1]_include.cmake")
