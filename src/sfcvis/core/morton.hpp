@@ -167,6 +167,31 @@ struct MortonCoord2D {
 #endif
 
 // ---------------------------------------------------------------------------
+// Aligned-block ranges
+// ---------------------------------------------------------------------------
+// A 2^b-aligned cube of side 2^b occupies one contiguous run of the Morton
+// curve: its low 3b index bits enumerate the block interior and the high
+// bits are fixed. This is what makes block-granular summaries (min-max
+// macrocells, per-block statistics) linear scans over a Z-order grid.
+
+/// Contiguous Morton index range of one aligned block: [base, base+length).
+struct MortonBlockRange3D {
+  std::uint64_t base = 0;
+  std::uint64_t length = 0;
+};
+
+/// Range of the aligned 2^b cube block with block coordinates (bx, by, bz)
+/// — i.e. voxels [bx*2^b, (bx+1)*2^b) per axis — on the plain (cubic)
+/// Morton curve. length is always 2^(3b).
+[[nodiscard]] constexpr MortonBlockRange3D morton_block_range_3d(std::uint32_t bx,
+                                                                 std::uint32_t by,
+                                                                 std::uint32_t bz,
+                                                                 unsigned b) noexcept {
+  return MortonBlockRange3D{morton_encode_3d(bx << b, by << b, bz << b),
+                            std::uint64_t{1} << (3 * b)};
+}
+
+// ---------------------------------------------------------------------------
 // Neighbour stepping without full decode/re-encode
 // ---------------------------------------------------------------------------
 // Adding 1 to one axis of a Morton index can be done directly on the

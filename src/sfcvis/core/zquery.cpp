@@ -32,6 +32,20 @@ constexpr std::uint64_t load_01(std::uint64_t v, unsigned pos) noexcept {
 
 }  // namespace
 
+bool zorder_blocks_contiguous(const ZOrderTables& tables, unsigned block_log2) noexcept {
+  for (unsigned axis = 0; axis < 3; ++axis) {
+    if (tables.axis_bits(axis) < block_log2) {
+      return false;
+    }
+    for (unsigned bit = 0; bit < block_log2; ++bit) {
+      if (tables.bit_position(axis, bit) >= 3 * block_log2) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
 bool morton_in_box_3d(std::uint64_t z, const Coord3D& lo, const Coord3D& hi) noexcept {
   const auto c = morton_decode_3d(z);
   return c.x >= lo.i && c.x <= hi.i && c.y >= lo.j && c.y <= hi.j && c.z >= lo.k &&

@@ -35,6 +35,17 @@ namespace sfcvis::core {
 [[nodiscard]] std::uint64_t morton_litmax_3d(std::uint64_t z, std::uint64_t zmin,
                                              std::uint64_t zmax) noexcept;
 
+/// True when every 2^block_log2-aligned cube block of the (possibly
+/// anisotropic) table curve occupies a contiguous index range — i.e. the
+/// low 3*block_log2 index bits are exactly the low block_log2 bits of each
+/// axis. Holds whenever every padded axis is at least 2^block_log2 wide
+/// (the generator interleaves bit-planes while all axes have bits left).
+/// When true, the block with origin (i0, j0, k0) spans indices
+/// [tables.index(i0, j0, k0), +2^(3*block_log2)) — a linear scan of the
+/// grid's storage, which is how layout-aware block summaries are built.
+[[nodiscard]] bool zorder_blocks_contiguous(const ZOrderTables& tables,
+                                            unsigned block_log2) noexcept;
+
 /// Visits every lattice point of the inclusive box [lo, hi] in Z-curve
 /// order, skipping out-of-box curve segments via BIGMIN (never scanning
 /// more than one dead code per in-box run). fn receives (code, coord).

@@ -137,7 +137,60 @@ template <core::ReadView3D View>
   return sum / norm;
 }
 
+/// Interior variant of bilateral_voxel: every stencil tap is known to be
+/// in bounds, so neighbours index the view directly — no per-tap clamp
+/// branches. Tap order and arithmetic match bilateral_voxel exactly, so
+/// the result is bit-identical; callers must guarantee the whole stencil
+/// fits (each coordinate in [r, n-1-r] on its axis).
+template <core::ReadView3D View>
+[[nodiscard]] float bilateral_voxel_interior(const View& src, std::uint32_t i,
+                                             std::uint32_t j, std::uint32_t k,
+                                             const BilateralWeights& weights,
+                                             float sigma_range, LoopOrder order) {
+  const int r = static_cast<int>(weights.radius());
+  const float inv2sr2 = 1.0f / (2.0f * sigma_range * sigma_range);
+  const float center = src.at(i, j, k);
+  float sum = 0.0f;
+  float norm = 0.0f;
+
+  auto tap = [&](int dx, int dy, int dz) {
+    const float sample = src.at(static_cast<std::uint32_t>(static_cast<int>(i) + dx),
+                                static_cast<std::uint32_t>(static_cast<int>(j) + dy),
+                                static_cast<std::uint32_t>(static_cast<int>(k) + dz));
+    const float w = weights.spatial(dx, dy, dz) *
+                    BilateralWeights::range(sample - center, inv2sr2);
+    sum += w * sample;
+    norm += w;
+  };
+
+  if (order == LoopOrder::kXYZ) {
+    for (int dz = -r; dz <= r; ++dz) {
+      for (int dy = -r; dy <= r; ++dy) {
+        for (int dx = -r; dx <= r; ++dx) {
+          tap(dx, dy, dz);
+        }
+      }
+    }
+  } else {
+    for (int dx = -r; dx <= r; ++dx) {
+      for (int dy = -r; dy <= r; ++dy) {
+        for (int dz = -r; dz <= r; ++dz) {
+          tap(dx, dy, dz);
+        }
+      }
+    }
+  }
+  return sum / norm;
+}
+
 /// Filters every voxel of one pencil into `dst` (array-order output).
+///
+/// Pencils whose two fixed coordinates sit at least `radius` away from
+/// their borders split into three segments: clamped heads/tails of
+/// `radius` voxels each, and a branch-free interior that takes the
+/// bilateral_voxel_interior fast path. Border pencils (and pencils
+/// shorter than one full stencil) stay on the clamped kernel throughout.
+/// Output is bit-identical either way.
 template <core::ReadView3D View>
 void bilateral_pencil(const View& src, core::Grid3D<float, core::ArrayOrderLayout>& dst,
                       const BilateralWeights& weights, const BilateralParams& params,
@@ -145,11 +198,33 @@ void bilateral_pencil(const View& src, core::Grid3D<float, core::ArrayOrderLayou
   const auto& e = src.extents();
   const PencilCoords pc = pencil_coords(e, params.pencil, pencil);
   const std::uint32_t len = pencil_length(e, params.pencil);
-  for (std::uint32_t t = 0; t < len; ++t) {
-    const core::Coord3D v = pencil_voxel(params.pencil, pc, t);
-    dst.at(v.i, v.j, v.k) =
-        bilateral_voxel(src, v.i, v.j, v.k, weights, params.sigma_range, params.order);
+  const std::uint32_t r = weights.radius();
+
+  // Extents of the two fixed axes (the varying axis is bounded by `len`).
+  std::uint32_t na = 0, nb = 0;
+  switch (params.pencil) {
+    case PencilAxis::kX: na = e.ny; nb = e.nz; break;
+    case PencilAxis::kY: na = e.nx; nb = e.nz; break;
+    case PencilAxis::kZ: na = e.nx; nb = e.ny; break;
   }
+  const bool fixed_interior = pc.a >= r && pc.a + r < na && pc.b >= r && pc.b + r < nb;
+  const std::uint32_t interior_begin = fixed_interior && len > 2 * r ? r : len;
+  const std::uint32_t interior_end = fixed_interior && len > 2 * r ? len - r : len;
+
+  const auto clamped_run = [&](std::uint32_t t0, std::uint32_t t1) {
+    for (std::uint32_t t = t0; t < t1; ++t) {
+      const core::Coord3D v = pencil_voxel(params.pencil, pc, t);
+      dst.at(v.i, v.j, v.k) =
+          bilateral_voxel(src, v.i, v.j, v.k, weights, params.sigma_range, params.order);
+    }
+  };
+  clamped_run(0, interior_begin);
+  for (std::uint32_t t = interior_begin; t < interior_end; ++t) {
+    const core::Coord3D v = pencil_voxel(params.pencil, pc, t);
+    dst.at(v.i, v.j, v.k) = bilateral_voxel_interior(src, v.i, v.j, v.k, weights,
+                                                     params.sigma_range, params.order);
+  }
+  clamped_run(interior_end, len);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,16 @@
+#include "sfcvis/render/macrocell.hpp"
+
+#include <stdexcept>
+
+namespace sfcvis::render {
+
+core::Extents3D macrocell_extents(const core::Extents3D& volume, std::uint32_t block) {
+  if (block == 0) {
+    throw std::invalid_argument("MacrocellGrid: block size must be nonzero");
+  }
+  core::validate_extents(volume);
+  return core::Extents3D{(volume.nx + block - 1) / block, (volume.ny + block - 1) / block,
+                         (volume.nz + block - 1) / block};
+}
+
+}  // namespace sfcvis::render

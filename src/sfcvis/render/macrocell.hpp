@@ -1,0 +1,242 @@
+// Macrocell min-max grid: the renderer's empty-space-skipping acceleration
+// structure.
+//
+// The volume is summarized at block granularity: one macrocell per B^3
+// voxel block stores the [min, max] of every voxel a trilinear sample
+// taken inside the cell can touch. trace_ray (raycast.hpp) walks rays
+// macrocell-by-macrocell and skips, in O(1), every cell whose value range
+// classifies to zero opacity — the dominant cost of the paper's raycaster
+// on mostly-transparent data is exactly those wasted taps.
+//
+// The build is layout-aware, which is the Z-order payoff this subsystem
+// showcases: for a ZOrderLayout volume with B = 2^b (and every padded axis
+// >= B), each macrocell's core block is one *contiguous* run of storage
+// (core::zorder_blocks_contiguous), so the bulk of the build is a linear
+// scan — the cache-friendliest sweep the layout admits. Array-order (and
+// any other layout) builds through a blocked triple loop instead. Both
+// paths produce identical grids; cells are independent, so the build
+// parallelizes over the threads::Pool with the dynamic work queue.
+//
+// Footprint: a sample at continuous position p inside cell c reads lattice
+// neighbours floor(p) and floor(p)+1, which reach one voxel past the
+// block's upper face; the traversal in raycast.hpp additionally attributes
+// samples to cells from positions that can sit an ulp past a cell face.
+// Each cell's [min, max] therefore covers the block widened by one voxel
+// on every side (clamped to the volume), making the classification robust
+// to any sub-voxel rounding of the ray marcher.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <type_traits>
+#include <vector>
+
+#include "sfcvis/core/grid.hpp"
+#include "sfcvis/core/zquery.hpp"
+#include "sfcvis/render/vec.hpp"
+#include "sfcvis/threads/pool.hpp"
+#include "sfcvis/threads/schedulers.hpp"
+
+namespace sfcvis::render {
+
+/// Inclusive scalar value range of one macrocell's footprint.
+struct ValueRange {
+  float min = 0.0f;
+  float max = 0.0f;
+};
+
+/// Macrocell coordinate triple (block-grid space).
+struct CellCoord {
+  std::uint32_t i = 0, j = 0, k = 0;
+};
+
+/// Number of macrocells covering `volume` at block size `block` per axis.
+[[nodiscard]] core::Extents3D macrocell_extents(const core::Extents3D& volume,
+                                                std::uint32_t block);
+
+/// Min-max summary grid over B^3 voxel blocks of one float volume.
+class MacrocellGrid {
+ public:
+  MacrocellGrid() = default;
+
+  /// Builds the grid for `volume`. Throws std::invalid_argument when
+  /// `block` is zero. When `pool` is non-null the cells are computed in
+  /// parallel on its dynamic work queue; the result is identical either
+  /// way (each cell is written exactly once).
+  template <core::Layout3D L>
+  [[nodiscard]] static MacrocellGrid build(const core::Grid3D<float, L>& volume,
+                                           std::uint32_t block = 8,
+                                           threads::Pool* pool = nullptr);
+
+  [[nodiscard]] bool empty() const noexcept { return block_ == 0; }
+  [[nodiscard]] std::uint32_t block_size() const noexcept { return block_; }
+  [[nodiscard]] const core::Extents3D& cell_extents() const noexcept { return cells_; }
+  [[nodiscard]] const core::Extents3D& volume_extents() const noexcept { return volume_; }
+
+  /// Value range of cell (cx, cy, cz); coordinates must be in
+  /// cell_extents().
+  [[nodiscard]] ValueRange range(std::uint32_t cx, std::uint32_t cy,
+                                 std::uint32_t cz) const noexcept {
+    const std::size_t idx =
+        cx + static_cast<std::size_t>(cells_.nx) *
+                 (cy + static_cast<std::size_t>(cells_.ny) * cz);
+    return ValueRange{min_[idx], max_[idx]};
+  }
+
+  [[nodiscard]] ValueRange range(const CellCoord& c) const noexcept {
+    return range(c.i, c.j, c.k);
+  }
+
+  /// Cell containing continuous voxel position `p`, clamped to the grid —
+  /// positions in the half-voxel apron around the volume (the renderer's
+  /// bounding box extends 0.5 voxels past the lattice) map to the border
+  /// cells whose clamped footprint covers the apron samples.
+  [[nodiscard]] CellCoord cell_of(const Vec3& p) const noexcept {
+    const auto clamp_axis = [](float v, float inv_b, std::uint32_t n) {
+      const float c = std::floor(v * inv_b);
+      return static_cast<std::uint32_t>(
+          std::clamp(c, 0.0f, static_cast<float>(n - 1)));
+    };
+    return CellCoord{clamp_axis(p.x, inv_block_, cells_.nx),
+                     clamp_axis(p.y, inv_block_, cells_.ny),
+                     clamp_axis(p.z, inv_block_, cells_.nz)};
+  }
+
+  /// Ray parameter at which the ray leaves cell `c`, computed per-axis
+  /// from the ray origin (no accumulated DDA state, so it cannot drift).
+  /// `inv_dir` holds 1/dir per component (+-inf where dir is 0). May be
+  /// smaller than the current parameter for positions that were clamped
+  /// into a border cell; the traversal guarantees progress regardless.
+  [[nodiscard]] float cell_exit(const Vec3& origin, const Vec3& inv_dir,
+                                const CellCoord& c) const noexcept {
+    const float b = static_cast<float>(block_);
+    float t = std::numeric_limits<float>::max();
+    const auto axis = [&](float o, float inv, std::uint32_t cell) {
+      const float lo = static_cast<float>(cell) * b;
+      const float bound = inv >= 0.0f ? lo + b : lo;
+      t = std::min(t, (bound - o) * inv);
+    };
+    axis(origin.x, inv_dir.x, c.i);
+    axis(origin.y, inv_dir.y, c.j);
+    axis(origin.z, inv_dir.z, c.k);
+    return t;
+  }
+
+ private:
+  template <core::Layout3D L>
+  static void compute_cell(const core::Grid3D<float, L>& volume, std::uint32_t block,
+                           const CellCoord& c, float& out_min, float& out_max);
+
+  core::Extents3D volume_{};
+  core::Extents3D cells_{};
+  std::uint32_t block_ = 0;
+  float inv_block_ = 0.0f;
+  std::vector<float> min_, max_;
+};
+
+// ---------------------------------------------------------------------------
+// Build
+// ---------------------------------------------------------------------------
+
+template <core::Layout3D L>
+void MacrocellGrid::compute_cell(const core::Grid3D<float, L>& volume, std::uint32_t block,
+                                 const CellCoord& c, float& out_min, float& out_max) {
+  const auto& e = volume.extents();
+  const std::int64_t b = block;
+  // Inclusive footprint box: block widened by one voxel per side, clamped.
+  const auto fp_lo = [&](std::uint32_t cell) { return std::max<std::int64_t>(0, cell * b - 1); };
+  const auto fp_hi = [&](std::uint32_t cell, std::uint32_t n) {
+    return std::min<std::int64_t>(n - 1, (cell + std::int64_t{1}) * b + 1);
+  };
+  const std::int64_t x0 = fp_lo(c.i), x1 = fp_hi(c.i, e.nx);
+  const std::int64_t y0 = fp_lo(c.j), y1 = fp_hi(c.j, e.ny);
+  const std::int64_t z0 = fp_lo(c.k), z1 = fp_hi(c.k, e.nz);
+
+  float mn = std::numeric_limits<float>::max();
+  float mx = std::numeric_limits<float>::lowest();
+  const auto scan = [&](std::int64_t i0, std::int64_t i1, std::int64_t j0, std::int64_t j1,
+                        std::int64_t k0, std::int64_t k1) {
+    for (std::int64_t k = k0; k <= k1; ++k) {
+      for (std::int64_t j = j0; j <= j1; ++j) {
+        for (std::int64_t i = i0; i <= i1; ++i) {
+          const float v = volume.at(static_cast<std::uint32_t>(i),
+                                    static_cast<std::uint32_t>(j),
+                                    static_cast<std::uint32_t>(k));
+          mn = std::min(mn, v);
+          mx = std::max(mx, v);
+        }
+      }
+    }
+  };
+
+  bool core_done = false;
+  if constexpr (std::is_same_v<L, core::ZOrderLayout>) {
+    // Layout-aware path: a 2^b-aligned block that lies fully inside the
+    // logical extents is one contiguous run of storage — scan it linearly
+    // and sweep only the one-voxel footprint shell through the indexer.
+    const std::int64_t cx0 = c.i * b, cy0 = c.j * b, cz0 = c.k * b;
+    const std::int64_t cx1 = cx0 + b - 1, cy1 = cy0 + b - 1, cz1 = cz0 + b - 1;
+    if (std::has_single_bit(block) && cx1 < e.nx && cy1 < e.ny && cz1 < e.nz &&
+        core::zorder_blocks_contiguous(volume.layout().tables(),
+                                       core::log2_pow2(block))) {
+      const std::size_t base = volume.layout().index(static_cast<std::uint32_t>(cx0),
+                                                     static_cast<std::uint32_t>(cy0),
+                                                     static_cast<std::uint32_t>(cz0));
+      const float* p = volume.data() + base;
+      const std::size_t n = static_cast<std::size_t>(block) * block * block;
+      for (std::size_t v = 0; v < n; ++v) {
+        mn = std::min(mn, p[v]);
+        mx = std::max(mx, p[v]);
+      }
+      // Shell = footprint minus core, as six disjoint slabs.
+      scan(x0, cx0 - 1, y0, y1, z0, z1);
+      scan(cx1 + 1, x1, y0, y1, z0, z1);
+      scan(cx0, cx1, y0, cy0 - 1, z0, z1);
+      scan(cx0, cx1, cy1 + 1, y1, z0, z1);
+      scan(cx0, cx1, cy0, cy1, z0, cz0 - 1);
+      scan(cx0, cx1, cy0, cy1, cz1 + 1, z1);
+      core_done = true;
+    }
+  }
+  if (!core_done) {
+    scan(x0, x1, y0, y1, z0, z1);
+  }
+  out_min = mn;
+  out_max = mx;
+}
+
+template <core::Layout3D L>
+MacrocellGrid MacrocellGrid::build(const core::Grid3D<float, L>& volume, std::uint32_t block,
+                                   threads::Pool* pool) {
+  MacrocellGrid grid;
+  grid.volume_ = volume.extents();
+  grid.cells_ = macrocell_extents(grid.volume_, block);
+  grid.block_ = block;
+  grid.inv_block_ = 1.0f / static_cast<float>(block);
+  const std::size_t n = grid.cells_.size();
+  grid.min_.resize(n);
+  grid.max_.resize(n);
+
+  const auto cell_at = [&](std::size_t idx) {
+    const std::uint32_t cx = static_cast<std::uint32_t>(idx % grid.cells_.nx);
+    const std::uint32_t cy = static_cast<std::uint32_t>((idx / grid.cells_.nx) % grid.cells_.ny);
+    const std::uint32_t cz = static_cast<std::uint32_t>(idx / (static_cast<std::size_t>(grid.cells_.nx) * grid.cells_.ny));
+    return CellCoord{cx, cy, cz};
+  };
+  const auto job = [&](std::size_t idx) {
+    compute_cell(volume, block, cell_at(idx), grid.min_[idx], grid.max_[idx]);
+  };
+  if (pool != nullptr) {
+    threads::parallel_for_dynamic(*pool, n, [&](std::size_t idx, unsigned) { job(idx); });
+  } else {
+    for (std::size_t idx = 0; idx < n; ++idx) {
+      job(idx);
+    }
+  }
+  return grid;
+}
+
+}  // namespace sfcvis::render

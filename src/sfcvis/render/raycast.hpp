@@ -7,12 +7,23 @@
 // through a core::ReadView3D, which makes the renderer layout-transparent
 // and traceable, exactly like the bilateral filter.
 //
+// Empty-space skipping: with config.use_macrocells the ray integration
+// runs as a 3D DDA over a MacrocellGrid (Amanatides & Woo 1987): the ray
+// advances macrocell-by-macrocell, and every cell whose [min, max] value
+// range classifies to zero opacity (TransferFunction::max_opacity) is
+// skipped in O(1) instead of being sampled. MIP rays additionally skip
+// cells whose max cannot raise the current peak. Sample positions are the
+// same arithmetic expression (t_enter + n*step) on the dense and the
+// accelerated path, and skipped samples contribute exactly zero to the
+// composite, so accelerated images are bit-identical to dense ones.
+//
 // Parallelism: the output image is decomposed into tiles (32x32 by
 // default) consumed by a dynamic worker pool — the strategy the paper
 // reports as best-performing and as the reason for using raw threads.
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdint>
 #include <limits>
@@ -25,6 +36,7 @@
 #include "sfcvis/memsim/hierarchy.hpp"
 #include "sfcvis/render/camera.hpp"
 #include "sfcvis/render/image.hpp"
+#include "sfcvis/render/macrocell.hpp"
 #include "sfcvis/render/transfer.hpp"
 #include "sfcvis/threads/pool.hpp"
 #include "sfcvis/threads/schedulers.hpp"
@@ -50,6 +62,51 @@ struct RenderConfig {
   /// taps per sample — a denser semi-structured access pattern.
   bool shade = false;
   float ambient = 0.25f;  ///< ambient light floor when shading
+  /// Empty-space skipping over a macrocell min-max grid (see macrocell.hpp
+  /// and bench/abl_empty_space). Off by default so existing experiments
+  /// keep their exact access streams; images are identical either way.
+  bool use_macrocells = false;
+  std::uint32_t macrocell_size = 8;  ///< macrocell edge length, in voxels
+};
+
+/// Per-ray traversal statistics (skip-rate accounting; plain counters so
+/// the hot path stays atomic-free).
+struct RayStats {
+  std::uint64_t samples_taken = 0;    ///< samples evaluated (trilinear taps done)
+  std::uint64_t samples_skipped = 0;  ///< samples proven irrelevant and skipped
+  std::uint64_t cells_visited = 0;    ///< macrocells classified
+  std::uint64_t cells_skipped = 0;    ///< macrocells skipped whole
+
+  void add(const RayStats& o) noexcept {
+    samples_taken += o.samples_taken;
+    samples_skipped += o.samples_skipped;
+    cells_visited += o.cells_visited;
+    cells_skipped += o.cells_skipped;
+  }
+};
+
+/// Render-wide skip statistics, accumulated tile-at-a-time by the parallel
+/// drivers (one atomic add per tile and field, not per ray).
+struct RenderStats {
+  std::atomic<std::uint64_t> samples_taken{0};
+  std::atomic<std::uint64_t> samples_skipped{0};
+  std::atomic<std::uint64_t> cells_visited{0};
+  std::atomic<std::uint64_t> cells_skipped{0};
+
+  void add(const RayStats& o) noexcept {
+    samples_taken.fetch_add(o.samples_taken, std::memory_order_relaxed);
+    samples_skipped.fetch_add(o.samples_skipped, std::memory_order_relaxed);
+    cells_visited.fetch_add(o.cells_visited, std::memory_order_relaxed);
+    cells_skipped.fetch_add(o.cells_skipped, std::memory_order_relaxed);
+  }
+
+  /// Fraction of potential samples that the macrocell traversal skipped.
+  [[nodiscard]] double skip_rate() const noexcept {
+    const double taken = static_cast<double>(samples_taken.load());
+    const double skipped = static_cast<double>(samples_skipped.load());
+    const double total = taken + skipped;
+    return total > 0.0 ? skipped / total : 0.0;
+  }
 };
 
 /// Slab-method ray/axis-aligned-box intersection; returns the [t_enter,
@@ -98,13 +155,44 @@ template <core::ReadView3D View>
   };
 }
 
+namespace detail {
+
+/// First sample index m > n whose parameter t_enter + m*step lies strictly
+/// past `limit`, with a float fixup so no sample past the limit is ever
+/// skipped; always returns at least n + 1 so the traversal makes progress.
+[[nodiscard]] inline std::uint64_t skip_samples_past(std::uint64_t n, float limit,
+                                                     float t_enter, float step) noexcept {
+  std::uint64_t m = n + 1;
+  if (limit > t_enter) {
+    const float f = (limit - t_enter) / step;
+    if (f < 9.0e15f) {  // guard the float->integer cast
+      const auto cand = static_cast<std::uint64_t>(f) + 1;
+      m = std::max(m, cand);
+      while (m > n + 1 && t_enter + static_cast<float>(m - 1) * step > limit) {
+        --m;
+      }
+    }
+  }
+  return m;
+}
+
+}  // namespace detail
+
 /// Casts one ray. kComposite: classify each sample with the transfer
 /// function and composite front to back with opacity correction for the
 /// step size (optionally headlight-shaded by the local gradient).
-/// kMip: classify the maximum sample along the ray.
+/// kMip: classify the maximum sample along the ray; at least one sample
+/// (at t_enter) is always taken on a hit, so a span shorter than one step
+/// still classifies a real field value, never the -FLT_MAX sentinel.
+///
+/// With `cells` non-null the ray walks the macrocell DDA and skips
+/// provably irrelevant cells; the composited sample sequence (positions
+/// and float arithmetic) is identical to the dense path.
 template <core::ReadView3D View>
 [[nodiscard]] Rgba trace_ray(const View& view, const Ray& ray, const TransferFunction& tf,
-                             const RenderConfig& config) {
+                             const RenderConfig& config,
+                             const MacrocellGrid* cells = nullptr,
+                             RayStats* stats = nullptr) {
   const auto& e = view.extents();
   const Vec3 lo{-0.5f, -0.5f, -0.5f};
   const Vec3 hi{static_cast<float>(e.nx) - 0.5f, static_cast<float>(e.ny) - 0.5f,
@@ -114,10 +202,61 @@ template <core::ReadView3D View>
   if (!span) {
     return out;
   }
+  const float t_enter = span->first;
+  const float t_exit = span->second;
+  const float step = config.step;
+  // Sample n lies at t_enter + n*step — the same expression on every path,
+  // which is what makes dense and macrocell renders bit-identical.
+  const auto t_of = [&](std::uint64_t n) {
+    return t_enter + static_cast<float>(n) * step;
+  };
+
   if (config.mode == RenderMode::kMip) {
     float peak = -std::numeric_limits<float>::max();
-    for (float t = span->first; t <= span->second; t += config.step) {
-      peak = std::max(peak, sample_trilinear(view, ray.at(t)));
+    if (cells == nullptr) {
+      // n = 0 gives t = t_enter <= t_exit: the first sample is structural.
+      for (std::uint64_t n = 0;; ++n) {
+        const float t = t_of(n);
+        if (t > t_exit) {
+          break;
+        }
+        peak = std::max(peak, sample_trilinear(view, ray.at(t)));
+        if (stats != nullptr) {
+          ++stats->samples_taken;
+        }
+      }
+    } else {
+      const Vec3 inv_dir{1.0f / ray.dir.x, 1.0f / ray.dir.y, 1.0f / ray.dir.z};
+      std::uint64_t n = 0;
+      while (true) {
+        const float t = t_of(n);
+        if (n != 0 && t > t_exit) {
+          break;
+        }
+        const CellCoord c = cells->cell_of(ray.at(t));
+        const float exit = std::min(cells->cell_exit(ray.origin, inv_dir, c), t_exit);
+        if (stats != nullptr) {
+          ++stats->cells_visited;
+        }
+        if (cells->range(c).max <= peak) {
+          // No sample in this cell can raise the peak: max(peak, v) with
+          // v <= peak leaves peak bit-identical, so the whole cell skips.
+          const std::uint64_t next = detail::skip_samples_past(n, exit, t_enter, step);
+          if (stats != nullptr) {
+            stats->samples_skipped += next - n;
+            ++stats->cells_skipped;
+          }
+          n = next;
+        } else {
+          do {
+            peak = std::max(peak, sample_trilinear(view, ray.at(t_of(n))));
+            if (stats != nullptr) {
+              ++stats->samples_taken;
+            }
+            ++n;
+          } while (t_of(n) <= exit);
+        }
+      }
     }
     out = tf.sample(peak);
     // MIP shows the classified peak directly: premultiply and fill alpha.
@@ -126,7 +265,9 @@ template <core::ReadView3D View>
     out.b *= out.a;
     return out;
   }
-  for (float t = span->first; t <= span->second; t += config.step) {
+
+  // Front-to-back compositing. Returns false once early termination hits.
+  const auto composite_sample = [&](float t) {
     const Vec3 position = ray.at(t);
     const float value = sample_trilinear(view, position);
     Rgba sample = tf.sample(value);
@@ -143,38 +284,114 @@ template <core::ReadView3D View>
       }
     }
     // Opacity correction: transfer-function alphas are per unit length.
-    sample.a = 1.0f - std::pow(1.0f - sample.a, config.step);
+    sample.a = 1.0f - std::pow(1.0f - sample.a, step);
     out.composite_under(sample);
-    if (out.a >= config.early_termination) {
+    return out.a < config.early_termination;
+  };
+
+  if (cells == nullptr) {
+    for (std::uint64_t n = 0;; ++n) {
+      const float t = t_of(n);
+      if (t > t_exit) {
+        break;
+      }
+      const bool keep_going = composite_sample(t);
+      if (stats != nullptr) {
+        ++stats->samples_taken;
+      }
+      if (!keep_going) {
+        break;
+      }
+    }
+    return out;
+  }
+
+  const Vec3 inv_dir{1.0f / ray.dir.x, 1.0f / ray.dir.y, 1.0f / ray.dir.z};
+  std::uint64_t n = 0;
+  while (true) {
+    const float t = t_of(n);
+    if (t > t_exit) {
       break;
+    }
+    const CellCoord c = cells->cell_of(ray.at(t));
+    const float exit = std::min(cells->cell_exit(ray.origin, inv_dir, c), t_exit);
+    if (stats != nullptr) {
+      ++stats->cells_visited;
+    }
+    const ValueRange range = cells->range(c);
+    if (tf.max_opacity(range.min, range.max) <= 0.0f) {
+      // Every sample in the cell classifies to alpha exactly 0 and would
+      // composite exactly nothing: skip the cell in O(1).
+      const std::uint64_t next = detail::skip_samples_past(n, exit, t_enter, step);
+      if (stats != nullptr) {
+        stats->samples_skipped += next - n;
+        ++stats->cells_skipped;
+      }
+      n = next;
+    } else {
+      bool keep_going = true;
+      do {
+        keep_going = composite_sample(t_of(n));
+        if (stats != nullptr) {
+          ++stats->samples_taken;
+        }
+        ++n;
+      } while (keep_going && t_of(n) <= exit);
+      if (!keep_going) {
+        break;
+      }
     }
   }
   return out;
 }
 
-/// Renders one image tile.
+/// Renders one image tile; per-ray stats accumulate locally and flush to
+/// `stats` once per tile.
 template <core::ReadView3D View>
 void render_tile(const View& view, const Camera& camera, const TransferFunction& tf,
-                 const RenderConfig& config, Image& image, const Tile& tile) {
+                 const RenderConfig& config, Image& image, const Tile& tile,
+                 const MacrocellGrid* cells = nullptr, RenderStats* stats = nullptr) {
+  RayStats tile_stats;
+  RayStats* ray_stats = stats != nullptr ? &tile_stats : nullptr;
   for (std::uint32_t y = tile.y0; y < tile.y1; ++y) {
     for (std::uint32_t x = tile.x0; x < tile.x1; ++x) {
       const Ray ray = camera.ray_for_pixel(x, y, image.width(), image.height());
-      image.at(x, y) = trace_ray(view, ray, tf, config);
+      image.at(x, y) = trace_ray(view, ray, tf, config, cells, ray_stats);
     }
+  }
+  if (stats != nullptr) {
+    stats->add(tile_stats);
   }
 }
 
 /// Shared-memory parallel render: tiles consumed by the pool's dynamic
 /// worker queue (the paper's best work-assignment strategy).
+///
+/// When config.use_macrocells is set the render takes the empty-space-
+/// skipping path: a caller-provided `cells` grid is used as-is (build once
+/// outside a timing loop with MacrocellGrid::build), otherwise one is
+/// built here on the same pool. `stats`, when non-null, receives the
+/// skip-rate accounting.
 template <core::Layout3D L>
 [[nodiscard]] Image raycast_parallel(const core::Grid3D<float, L>& volume,
                                      const Camera& camera, const TransferFunction& tf,
-                                     const RenderConfig& config, threads::Pool& pool) {
+                                     const RenderConfig& config, threads::Pool& pool,
+                                     const MacrocellGrid* cells = nullptr,
+                                     RenderStats* stats = nullptr) {
   Image image(config.image_width, config.image_height);
   const core::PlainView<float, L> view(volume);
+  MacrocellGrid local_cells;
+  const MacrocellGrid* use_cells = nullptr;
+  if (config.use_macrocells) {
+    if (cells == nullptr) {
+      local_cells = MacrocellGrid::build(volume, config.macrocell_size, &pool);
+      cells = &local_cells;
+    }
+    use_cells = cells;
+  }
   const TileDecomposition tiles(config.image_width, config.image_height, config.tile_size);
   threads::parallel_for_dynamic(pool, tiles.count(), [&](std::size_t t, unsigned) {
-    render_tile(view, camera, tf, config, image, tiles.bounds(t));
+    render_tile(view, camera, tf, config, image, tiles.bounds(t), use_cells, stats);
   });
   return image;
 }
@@ -184,12 +401,28 @@ template <core::Layout3D L>
 /// interleaved deterministically) through the modeled memory system.
 /// `max_items` caps the replay at a prefix of the tile schedule, bounding
 /// simulation cost; both layouts replay the identical pixel set.
+///
+/// config.use_macrocells takes the same skipping path as the native
+/// render, so the modeled counters measure the reduced access stream; the
+/// macrocell summary itself is metadata and is not traced (it is built
+/// once, not read per-frame in proportion to the volume).
 template <core::Layout3D L>
 [[nodiscard]] Image raycast_traced(const core::Grid3D<float, L>& volume,
                                    const Camera& camera, const TransferFunction& tf,
                                    const RenderConfig& config, memsim::Hierarchy& hierarchy,
-                                   std::size_t max_items = SIZE_MAX) {
+                                   std::size_t max_items = SIZE_MAX,
+                                   const MacrocellGrid* cells = nullptr,
+                                   RenderStats* stats = nullptr) {
   Image image(config.image_width, config.image_height);
+  MacrocellGrid local_cells;
+  const MacrocellGrid* use_cells = nullptr;
+  if (config.use_macrocells) {
+    if (cells == nullptr) {
+      local_cells = MacrocellGrid::build(volume, config.macrocell_size);
+      cells = &local_cells;
+    }
+    use_cells = cells;
+  }
   const TileDecomposition tiles(config.image_width, config.image_height, config.tile_size);
   const threads::StaticRoundRobin rr(tiles.count(), hierarchy.num_threads());
   std::vector<memsim::ThreadSink> sinks;
@@ -203,7 +436,8 @@ template <core::Layout3D L>
       break;
     }
     const core::TracedView<float, L, memsim::ThreadSink> view(volume, sinks[assignment.tid]);
-    render_tile(view, camera, tf, config, image, tiles.bounds(assignment.item));
+    render_tile(view, camera, tf, config, image, tiles.bounds(assignment.item), use_cells,
+                stats);
   }
   return image;
 }

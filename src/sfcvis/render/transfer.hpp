@@ -25,8 +25,25 @@ class TransferFunction {
   /// Linearly interpolated RGBA at `value`; clamps outside the range.
   [[nodiscard]] Rgba sample(float value) const noexcept;
 
-  /// Flame-style map for combustion-like [0, 1] fields: transparent cold
-  /// regions, glowing orange sheet, bright white core.
+  /// Conservative upper bound on the opacity the transfer function assigns
+  /// to any value in [lo, hi] (endpoints inclusive, order-insensitive,
+  /// clamped to the control-point range like sample()).
+  ///
+  /// Backed by a binned piecewise-max table over the control-point alpha
+  /// envelope plus a sparse max table, so the query is O(1) — it is the
+  /// macrocell transparency test on the renderer's per-ray hot path. The
+  /// bound is exact up to one guard bin on each side of the interval:
+  /// never smaller than the true maximum, and never larger than the
+  /// maximum over the interval widened by two bins. In particular it
+  /// returns exactly 0 iff the alpha envelope is identically 0 on the
+  /// covered bins, which is what makes "max_opacity(min, max) <= 0" a safe
+  /// empty-space classification for macrocells.
+  [[nodiscard]] float max_opacity(float lo, float hi) const noexcept;
+
+  /// Flame-style map for combustion-like [0, 1] fields: fully transparent
+  /// cold regions (alpha exactly 0 below the fuel-haze threshold, so
+  /// empty-space skipping can classify them), glowing orange sheet, bright
+  /// white core.
   [[nodiscard]] static TransferFunction flame();
 
   /// Grayscale map with linear opacity ramp for MRI-like data.
@@ -35,7 +52,17 @@ class TransferFunction {
   [[nodiscard]] const std::vector<TransferPoint>& points() const noexcept { return points_; }
 
  private:
+  void build_opacity_envelope();
+  [[nodiscard]] float alpha_at(float value) const noexcept;
+
   std::vector<TransferPoint> points_;
+
+  // Binned alpha envelope: env_[level][b] is the max alpha over bins
+  // [b, b + 2^level); level 0 holds the per-bin piecewise maxima.
+  // Sparse-table layout gives O(1) range-max queries.
+  std::vector<std::vector<float>> env_;
+  float env_lo_ = 0.0f;        ///< value of the left edge of bin 0
+  float env_inv_width_ = 0.0f; ///< 1 / bin width (0 for a degenerate range)
 };
 
 }  // namespace sfcvis::render
