@@ -1,0 +1,162 @@
+// Dense row gathers: copy a 1D run of voxels along one axis into contiguous
+// scratch storage.
+//
+// Stencil kernels that re-read the same neighbourhood many times (the
+// bilateral filter's sliding window, filters/bilateral.hpp) amortize layout
+// indexing by gathering each stencil plane once into dense scratch and then
+// iterating the scratch with unit stride. The gather itself is the only
+// place that pays layout cost, so it is specialized per layout:
+//
+//  * generic         — one layout.index() per element (tiled, Hilbert, …).
+//  * ArrayOrderLayout— x rows are a single memcpy; y/z rows are fixed-stride
+//                      walks (the stride is hoisted out of the loop).
+//  * ZOrderLayout    — incremental Morton stepping (core/morton.hpp masked
+//                      ripple-add; Holzmüller, arXiv:1710.06384) on cubic
+//                      curves, per-axis table stepping on anisotropic ones.
+//                      Either way the walk detects maximal contiguous index
+//                      runs and flushes each with one memcpy, so a row load
+//                      becomes a handful of run copies instead of per-voxel
+//                      table lookups (the same contiguity zorder_blocks_
+//                      contiguous exploits at block granularity).
+//
+// Precondition for all overloads: the whole row [start, start + n) lies
+// inside the grid's logical extents.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+#include "sfcvis/core/grid.hpp"
+#include "sfcvis/core/morton.hpp"
+
+namespace sfcvis::core {
+
+/// Axis selector for row-oriented operations on 3D grids.
+enum class Axis3 : std::uint8_t { kX, kY, kZ };
+
+namespace detail {
+
+/// Copies a contiguous run into `out`. Morton runs are usually short (the
+/// x-axis pairs elements two by two), where a variable-size memcpy is all
+/// call overhead — copy short runs element-wise, long runs in bulk.
+template <class T>
+inline void copy_run(const T* src, T* out, std::uint32_t run) {
+  if (run <= 8) {
+    for (std::uint32_t c = 0; c < run; ++c) {
+      out[c] = src[c];
+    }
+    return;
+  }
+  std::memcpy(out, src, run * sizeof(T));
+}
+
+/// Walks `n` voxels from Morton index `m`, advancing with `step`, and
+/// flushes every maximal contiguous index run with one copy.
+template <class T, class StepFn>
+void gather_morton_runs(const T* data, std::uint64_t m, std::uint32_t n, T* out,
+                        StepFn step) {
+  std::uint32_t l = 0;
+  while (l < n) {
+    const std::uint64_t run_begin = m;
+    std::uint32_t run = 1;
+    while (l + run < n) {
+      m = step(m);  // index of element l + run
+      if (m != run_begin + run) {
+        break;
+      }
+      ++run;
+    }
+    copy_run(data + run_begin, out + l, run);
+    l += run;
+  }
+}
+
+}  // namespace detail
+
+/// Generic gather: one layout.index() per element. Works for every layout.
+template <class T, Layout3D L>
+void gather_row(const Grid3D<T, L>& g, Axis3 axis, std::uint32_t i, std::uint32_t j,
+                std::uint32_t k, std::uint32_t n, T* out) {
+  const L& layout = g.layout();
+  const T* data = g.data();
+  switch (axis) {
+    case Axis3::kX:
+      for (std::uint32_t l = 0; l < n; ++l) {
+        out[l] = data[layout.index(i + l, j, k)];
+      }
+      break;
+    case Axis3::kY:
+      for (std::uint32_t l = 0; l < n; ++l) {
+        out[l] = data[layout.index(i, j + l, k)];
+      }
+      break;
+    case Axis3::kZ:
+      for (std::uint32_t l = 0; l < n; ++l) {
+        out[l] = data[layout.index(i, j, k + l)];
+      }
+      break;
+  }
+}
+
+/// Array-order gather: x rows are one memcpy, y/z rows one hoisted stride.
+template <class T>
+void gather_row(const Grid3D<T, ArrayOrderLayout>& g, Axis3 axis, std::uint32_t i,
+                std::uint32_t j, std::uint32_t k, std::uint32_t n, T* out) {
+  const auto& e = g.extents();
+  const T* base = g.data() + g.layout().index(i, j, k);
+  if (axis == Axis3::kX) {
+    std::memcpy(out, base, n * sizeof(T));
+    return;
+  }
+  const std::size_t stride =
+      axis == Axis3::kY ? e.nx : static_cast<std::size_t>(e.nx) * e.ny;
+  for (std::uint32_t l = 0; l < n; ++l) {
+    out[l] = base[l * stride];
+  }
+}
+
+/// Z-order gather: incremental Morton/table stepping with contiguous-run
+/// memcpy. On the (common) cubic padded curve the per-voxel step is pure
+/// bit arithmetic; anisotropic curves step the per-axis deposit table.
+template <class T>
+void gather_row(const Grid3D<T, ZOrderLayout>& g, Axis3 axis, std::uint32_t i,
+                std::uint32_t j, std::uint32_t k, std::uint32_t n, T* out) {
+  const ZOrderTables& tables = g.layout().tables();
+  const T* data = g.data();
+  const Extents3D& padded = tables.padded();
+  if (padded.nx == padded.ny && padded.ny == padded.nz) {
+    // Cubic padded curve == plain Morton: O(1) neighbour steps, no loads.
+    const std::uint64_t m = morton_encode_3d(i, j, k);
+    switch (axis) {
+      case Axis3::kX:
+        detail::gather_morton_runs(data, m, n, out,
+                                   [](std::uint64_t z) { return morton_inc_x(z); });
+        return;
+      case Axis3::kY:
+        detail::gather_morton_runs(data, m, n, out,
+                                   [](std::uint64_t z) { return morton_inc_y(z); });
+        return;
+      case Axis3::kZ:
+        detail::gather_morton_runs(data, m, n, out,
+                                   [](std::uint64_t z) { return morton_inc_z(z); });
+        return;
+    }
+  }
+  // Anisotropic table curve: fix the two off-axis summands, step one table.
+  const auto ax = static_cast<unsigned>(axis);
+  const std::uint32_t c0 = axis == Axis3::kX ? i : axis == Axis3::kY ? j : k;
+  const std::uint64_t base = tables.index(i, j, k) - tables.axis_entry(ax, c0);
+  std::uint32_t l = 0;
+  while (l < n) {
+    const std::uint64_t begin = base + tables.axis_entry(ax, c0 + l);
+    std::uint32_t run = 1;
+    while (l + run < n &&
+           tables.axis_entry(ax, c0 + l + run) == tables.axis_entry(ax, c0 + l) + run) {
+      ++run;
+    }
+    detail::copy_run(data + begin, out + l, run);
+    l += run;
+  }
+}
+
+}  // namespace sfcvis::core

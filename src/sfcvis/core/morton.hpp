@@ -233,4 +233,30 @@ inline constexpr std::uint64_t kMortonMaskZ3D = 0x4924924924924924ULL;
   return (((m & kMortonMaskZ3D) - 4) & kMortonMaskZ3D) | (m & ~kMortonMaskZ3D);
 }
 
+// Arbitrary-delta axis steps: dilated-integer addition (Raman & Wise;
+// Holzmüller, arXiv:1710.06384). The delta is reduced to 21-bit two's
+// complement, dilated into the axis' bit positions, and added with the
+// other axes' bits forced to 1 so carries ripple straight through them —
+// one add regardless of |delta|, no decode/re-encode. Axis arithmetic is
+// modulo 2^21 (matching the inc/dec helpers above); stepping a stencil
+// window that stays inside the grid never wraps.
+
+/// Morton index of the (x + d) neighbour (d may be negative).
+[[nodiscard]] constexpr std::uint64_t morton_step_x(std::uint64_t m, std::int32_t d) noexcept {
+  const std::uint64_t dd = part_bits_3(static_cast<std::uint32_t>(d) & 0x1fffff);
+  return (((m | ~kMortonMaskX3D) + dd) & kMortonMaskX3D) | (m & ~kMortonMaskX3D);
+}
+
+/// Morton index of the (y + d) neighbour (d may be negative).
+[[nodiscard]] constexpr std::uint64_t morton_step_y(std::uint64_t m, std::int32_t d) noexcept {
+  const std::uint64_t dd = part_bits_3(static_cast<std::uint32_t>(d) & 0x1fffff) << 1;
+  return (((m | ~kMortonMaskY3D) + dd) & kMortonMaskY3D) | (m & ~kMortonMaskY3D);
+}
+
+/// Morton index of the (z + d) neighbour (d may be negative).
+[[nodiscard]] constexpr std::uint64_t morton_step_z(std::uint64_t m, std::int32_t d) noexcept {
+  const std::uint64_t dd = part_bits_3(static_cast<std::uint32_t>(d) & 0x1fffff) << 2;
+  return (((m | ~kMortonMaskZ3D) + dd) & kMortonMaskZ3D) | (m & ~kMortonMaskZ3D);
+}
+
 }  // namespace sfcvis::core

@@ -21,6 +21,51 @@ BilateralWeights::BilateralWeights(unsigned radius, float sigma_spatial)
   }
 }
 
+BilateralWeights::BilateralWeights(const BilateralParams& params)
+    : BilateralWeights(params.radius, params.sigma_spatial) {
+  if (params.use_range_lut) {
+    build_range_lut(params.sigma_range);
+  }
+}
+
+void BilateralWeights::build_range_lut(float sigma_range, unsigned bins) {
+  const float inv2sr2 = 1.0f / (2.0f * sigma_range * sigma_range);
+  range_lut_.resize(bins + 2);
+  for (unsigned b = 0; b <= bins; ++b) {
+    const float u = kRangeLutMaxU * static_cast<float>(b) / static_cast<float>(bins);
+    range_lut_[b] = std::exp(-u);
+  }
+  range_lut_[bins + 1] = range_lut_[bins];  // pad so clamped x = bins interpolates
+  lut_u_scale_ = inv2sr2 * static_cast<float>(bins) / kRangeLutMaxU;
+  lut_max_x_ = static_cast<float>(bins);
+}
+
+void BilateralGatherScratch::prepare(const BilateralWeights& weights, PencilAxis pencil) {
+  const int r = static_cast<int>(weights.radius());
+  width = 2 * weights.radius() + 1;
+  plane_size = width * width;
+  axis = pencil;
+  ring.resize(static_cast<std::size_t>(width) * plane_size);
+  wperm.resize(static_cast<std::size_t>(width) * plane_size);
+  // [dp][du][dv] -> (dx, dy, dz): dp walks the pencil axis, dv the plane's
+  // contiguous row axis (z for x-pencils, x otherwise), du the remaining
+  // axis — matching the row orientation bilateral_pencil_gather gathers.
+  std::size_t n = 0;
+  for (int dp = -r; dp <= r; ++dp) {
+    for (int du = -r; du <= r; ++du) {
+      for (int dv = -r; dv <= r; ++dv) {
+        int dx = 0, dy = 0, dz = 0;
+        switch (pencil) {
+          case PencilAxis::kX: dx = dp; dy = du; dz = dv; break;
+          case PencilAxis::kY: dx = dv; dy = dp; dz = du; break;
+          case PencilAxis::kZ: dx = dv; dy = du; dz = dp; break;
+        }
+        wperm[n++] = weights.spatial(dx, dy, dz);
+      }
+    }
+  }
+}
+
 std::size_t pencil_count(const core::Extents3D& e, PencilAxis axis) noexcept {
   switch (axis) {
     case PencilAxis::kX:

@@ -26,9 +26,11 @@
 #include <cstdint>
 #include <vector>
 
+#include "sfcvis/core/gather.hpp"
 #include "sfcvis/core/grid.hpp"
 #include "sfcvis/core/traced_view.hpp"
 #include "sfcvis/core/zquery.hpp"
+#include "sfcvis/filters/fastmath.hpp"
 #include "sfcvis/filters/kernels_common.hpp"
 #include "sfcvis/memsim/hierarchy.hpp"
 #include "sfcvis/threads/pool.hpp"
@@ -44,13 +46,34 @@ struct BilateralParams {
   float sigma_range = 0.1f;    ///< photometric falloff, in intensity units
   PencilAxis pencil = PencilAxis::kX;
   LoopOrder order = LoopOrder::kXYZ;
+  /// Sliding-window gather fast path (bilateral_parallel only): stencil
+  /// planes are gathered once into contiguous per-worker scratch and the
+  /// tap loops run dense. Off by default so the paper-figure drivers and
+  /// the traced counter runs keep the per-voxel access stream the study
+  /// measures; bench/abl_stencil_gather quantifies the speedup.
+  bool use_gather = false;
+  /// Gather path only: evaluate the photometric exp with the vectorizable
+  /// fast_exp_neg approximation (output within 1e-5 of exact). With
+  /// fast_exp = false and use_range_lut = false the gather path performs
+  /// tap arithmetic in the exact kernels' order — bit-identical output.
+  bool fast_exp = true;
+  /// Gather path only: replace the photometric exp with the quantized LUT
+  /// in BilateralWeights (1024 bins, linear interpolation). Cheaper than
+  /// fast_exp on hardware without SIMD exp throughput; looser error bound
+  /// (see BilateralWeights::build_range_lut).
+  bool use_range_lut = false;
 };
 
 /// Precomputed geometric weights for one stencil radius/sigma: the g(i,ibar)
-/// table of the paper's Eq. 3, indexed by stencil offset.
+/// table of the paper's Eq. 3, indexed by stencil offset. Optionally also
+/// carries the quantized photometric LUT of BilateralParams::use_range_lut.
 class BilateralWeights {
  public:
   BilateralWeights(unsigned radius, float sigma_spatial);
+
+  /// Builds weights for a full parameter set: spatial table always, range
+  /// LUT when params.use_range_lut is set.
+  explicit BilateralWeights(const BilateralParams& params);
 
   [[nodiscard]] unsigned radius() const noexcept { return radius_; }
 
@@ -63,14 +86,43 @@ class BilateralWeights {
     return table_[ix + width * (iy + width * iz)];
   }
 
+  /// Raw spatial table, offset (dx, dy, dz) -> ((dz+r)*W + (dy+r))*W + dx+r.
+  [[nodiscard]] const std::vector<float>& spatial_table() const noexcept { return table_; }
+
   /// Photometric weight c(i, ibar) for an intensity difference.
   [[nodiscard]] static float range(float diff, float inv_two_sigma_r_sq) noexcept {
     return std::exp(-diff * diff * inv_two_sigma_r_sq);
   }
 
+  /// Builds the quantized photometric LUT: exp(-u) sampled at `bins`+1
+  /// points of u = diff^2 / (2 sigma_r^2) over [0, kRangeLutMaxU], linearly
+  /// interpolated between samples and clamped to the tail value beyond.
+  /// Worst-case weight error is the interpolation bound (du^2)/8 ~ 3.1e-5
+  /// at 1024 bins plus the 1.1e-7 tail clamp; the output-level bound is
+  /// pinned by tests/test_bilateral_gather.cpp.
+  void build_range_lut(float sigma_range, unsigned bins = 1024);
+
+  [[nodiscard]] bool has_range_lut() const noexcept { return !range_lut_.empty(); }
+
+  /// LUT photometric weight; requires has_range_lut().
+  [[nodiscard]] float range_lut(float diff) const noexcept {
+    float x = diff * diff * lut_u_scale_;
+    x = x > lut_max_x_ ? lut_max_x_ : x;
+    const auto b = static_cast<std::uint32_t>(x);
+    const float f = x - static_cast<float>(b);
+    return range_lut_[b] + f * (range_lut_[b + 1] - range_lut_[b]);
+  }
+
+  /// Upper end of the quantized u = diff^2/(2 sigma_r^2) domain; weights
+  /// beyond it clamp to exp(-kRangeLutMaxU) ~ 1.1e-7.
+  static constexpr float kRangeLutMaxU = 16.0f;
+
  private:
   unsigned radius_;
   std::vector<float> table_;
+  std::vector<float> range_lut_;  ///< bins + 2 entries (interpolation pad)
+  float lut_u_scale_ = 0.0f;      ///< (1 / (2 sigma_r^2)) * bins / kRangeLutMaxU
+  float lut_max_x_ = 0.0f;        ///< bins, as float
 };
 
 /// Number of pencils a volume decomposes into along `axis`.
@@ -211,20 +263,175 @@ void bilateral_pencil(const View& src, core::Grid3D<float, core::ArrayOrderLayou
   const std::uint32_t interior_begin = fixed_interior && len > 2 * r ? r : len;
   const std::uint32_t interior_end = fixed_interior && len > 2 * r ? len - r : len;
 
+  // Axis dispatch hoisted out of the hot loops: the pencil's voxel at t is
+  // v0 + t * unit(axis), so the per-voxel switch inside pencil_voxel never
+  // runs per tap-loop iteration. Coordinates (and therefore output and
+  // traced access streams) are identical to calling pencil_voxel(t).
+  const core::Coord3D v0 = pencil_voxel(params.pencil, pc, 0);
+  const std::uint32_t di = params.pencil == PencilAxis::kX ? 1u : 0u;
+  const std::uint32_t dj = params.pencil == PencilAxis::kY ? 1u : 0u;
+  const std::uint32_t dk = params.pencil == PencilAxis::kZ ? 1u : 0u;
+
   const auto clamped_run = [&](std::uint32_t t0, std::uint32_t t1) {
     for (std::uint32_t t = t0; t < t1; ++t) {
-      const core::Coord3D v = pencil_voxel(params.pencil, pc, t);
+      const core::Coord3D v{v0.i + t * di, v0.j + t * dj, v0.k + t * dk};
       dst.at(v.i, v.j, v.k) =
           bilateral_voxel(src, v.i, v.j, v.k, weights, params.sigma_range, params.order);
     }
   };
   clamped_run(0, interior_begin);
   for (std::uint32_t t = interior_begin; t < interior_end; ++t) {
-    const core::Coord3D v = pencil_voxel(params.pencil, pc, t);
+    const core::Coord3D v{v0.i + t * di, v0.j + t * dj, v0.k + t * dk};
     dst.at(v.i, v.j, v.k) = bilateral_voxel_interior(src, v.i, v.j, v.k, weights,
                                                      params.sigma_range, params.order);
   }
   clamped_run(interior_end, len);
+}
+
+// ---------------------------------------------------------------------------
+// Sliding-window gather fast path
+// ---------------------------------------------------------------------------
+// As the pencil advances one voxel, the (2r+1)^3 stencil footprint changes
+// by exactly one (2r+1)^2 plane, so a ring of W = 2r+1 contiguous scratch
+// planes turns W^3 layout lookups per voxel into one W^2 plane gather —
+// amortizing index cost by ~1/W — and the tap loops run over dense
+// unit-stride rows the compiler can vectorize. The plane gathers are the
+// only layout-aware step (core/gather.hpp: memcpy rows on array order,
+// incremental Morton stepping with run copies on Z-order).
+
+/// Per-worker scratch of the gather fast path; allocate once per parallel
+/// region (threads::parallel_for_static_state), reuse across pencils.
+struct BilateralGatherScratch {
+  /// Sizes the ring for `weights`' radius and permutes the spatial table
+  /// to [dp][du][dv] for `axis` so the innermost tap loop walks both the
+  /// samples and the weights with unit stride.
+  void prepare(const BilateralWeights& weights, PencilAxis axis);
+
+  std::uint32_t width = 0;       ///< W = 2r + 1
+  std::uint32_t plane_size = 0;  ///< W * W
+  PencilAxis axis = PencilAxis::kX;
+  std::vector<float> ring;   ///< W planes of W*W samples, slot = s % W
+  std::vector<float> wperm;  ///< spatial weights permuted to [dp][du][dv]
+};
+
+/// Gather-based bilateral_pencil. Interior voxels of interior pencils take
+/// the ring-buffer fast path; border voxels (and whole pencils too short
+/// or too close to a face for a full stencil) fall back to the clamped
+/// per-voxel kernel. Tap order is plane-major ([dp][du][dv]); with
+/// params.fast_exp and params.use_range_lut both off the arithmetic per
+/// tap matches the exact kernels', so output is bit-identical to
+/// bilateral_reference for (pz, xyz) and to bilateral_voxel's zyx order
+/// for (px, zyx); other configurations differ only by float reassociation
+/// of the tap sum (well under the 1e-5 test tolerance).
+template <core::Layout3D L>
+void bilateral_pencil_gather(const core::Grid3D<float, L>& src,
+                             core::Grid3D<float, core::ArrayOrderLayout>& dst,
+                             const BilateralWeights& weights,
+                             const BilateralParams& params, std::size_t pencil,
+                             BilateralGatherScratch& scratch) {
+  const auto& e = src.extents();
+  const PencilCoords pc = pencil_coords(e, params.pencil, pencil);
+  const std::uint32_t len = pencil_length(e, params.pencil);
+  const std::uint32_t r = weights.radius();
+  const std::uint32_t W = scratch.width;
+  const std::uint32_t plane_sz = scratch.plane_size;
+  const core::PlainView<float, L> view(src);
+
+  std::uint32_t na = 0, nb = 0;
+  switch (params.pencil) {
+    case PencilAxis::kX: na = e.ny; nb = e.nz; break;
+    case PencilAxis::kY: na = e.nx; nb = e.nz; break;
+    case PencilAxis::kZ: na = e.nx; nb = e.ny; break;
+  }
+  const bool fixed_interior = pc.a >= r && pc.a + r < na && pc.b >= r && pc.b + r < nb;
+  if (!fixed_interior || len <= 2 * r) {
+    bilateral_pencil(view, dst, weights, params, pencil);
+    return;
+  }
+
+  const core::Coord3D v0 = pencil_voxel(params.pencil, pc, 0);
+  const std::uint32_t di = params.pencil == PencilAxis::kX ? 1u : 0u;
+  const std::uint32_t dj = params.pencil == PencilAxis::kY ? 1u : 0u;
+  const std::uint32_t dk = params.pencil == PencilAxis::kZ ? 1u : 0u;
+  const auto clamped_run = [&](std::uint32_t t0, std::uint32_t t1) {
+    for (std::uint32_t t = t0; t < t1; ++t) {
+      const core::Coord3D v{v0.i + t * di, v0.j + t * dj, v0.k + t * dk};
+      dst.at(v.i, v.j, v.k) =
+          bilateral_voxel(view, v.i, v.j, v.k, weights, params.sigma_range, params.order);
+    }
+  };
+  clamped_run(0, r);
+
+  const std::uint32_t a0 = pc.a - r;
+  const std::uint32_t b0 = pc.b - r;
+  const auto gather_plane = [&](std::uint32_t s) {
+    float* plane = scratch.ring.data() + (s % W) * plane_sz;
+    for (std::uint32_t du = 0; du < W; ++du) {
+      switch (params.pencil) {
+        case PencilAxis::kX:  // plane spans (y, z): rows along z
+          core::gather_row(src, core::Axis3::kZ, s, a0 + du, b0, W, plane + du * W);
+          break;
+        case PencilAxis::kY:  // plane spans (z, x): rows along x
+          core::gather_row(src, core::Axis3::kX, a0, s, b0 + du, W, plane + du * W);
+          break;
+        case PencilAxis::kZ:  // plane spans (y, x): rows along x
+          core::gather_row(src, core::Axis3::kX, a0, b0 + du, s, W, plane + du * W);
+          break;
+      }
+    }
+  };
+  for (std::uint32_t s = 0; s <= 2 * r; ++s) {
+    gather_plane(s);
+  }
+
+  const float inv2sr2 = 1.0f / (2.0f * params.sigma_range * params.sigma_range);
+  const bool lut = params.use_range_lut && weights.has_range_lut();
+  const bool fast = params.fast_exp && !lut;
+  const float* ring = scratch.ring.data();
+  const float* wperm = scratch.wperm.data();
+  for (std::uint32_t t = r; t < len - r; ++t) {
+    if (t > r) {
+      gather_plane(t + r);
+    }
+    const float center = ring[(t % W) * plane_sz + r * W + r];
+    float sum = 0.0f;
+    float norm = 0.0f;
+    // One flat loop per plane: scratch planes and their weight slices are
+    // both contiguous, so [du][dv] collapses to plane_sz iterations — same
+    // tap order (bit-identity preserved), ~W times fewer vector epilogues.
+    for (std::uint32_t dpi = 0; dpi < W; ++dpi) {
+      const float* plane = ring + ((t - r + dpi) % W) * plane_sz;
+      const float* wplane = wperm + dpi * plane_sz;
+      if (fast) {
+#pragma omp simd reduction(+ : sum, norm)
+        for (std::uint32_t q = 0; q < plane_sz; ++q) {
+          const float sample = plane[q];
+          const float d = sample - center;
+          const float w = wplane[q] * fast_exp_neg(d * d * inv2sr2);
+          sum += w * sample;
+          norm += w;
+        }
+      } else if (lut) {
+#pragma omp simd reduction(+ : sum, norm)
+        for (std::uint32_t q = 0; q < plane_sz; ++q) {
+          const float sample = plane[q];
+          const float w = wplane[q] * weights.range_lut(sample - center);
+          sum += w * sample;
+          norm += w;
+        }
+      } else {  // exact: same per-tap expressions as bilateral_voxel
+        for (std::uint32_t q = 0; q < plane_sz; ++q) {
+          const float sample = plane[q];
+          const float w = wplane[q] * BilateralWeights::range(sample - center, inv2sr2);
+          sum += w * sample;
+          norm += w;
+        }
+      }
+    }
+    const core::Coord3D v{v0.i + t * di, v0.j + t * dj, v0.k + t * dk};
+    dst.at(v.i, v.j, v.k) = sum / norm;
+  }
+  clamped_run(len - r, len);
 }
 
 // ---------------------------------------------------------------------------
@@ -239,17 +446,61 @@ void bilateral_reference(const core::Grid3D<float, core::ArrayOrderLayout>& src,
 
 /// Shared-memory parallel bilateral filter: pencils are assigned to pool
 /// threads round-robin (paper Sec. III-A). Works with any source layout.
+/// With params.use_gather the pencils run the sliding-window gather fast
+/// path on per-worker scratch sized once per parallel region.
 template <core::Layout3D L>
 void bilateral_parallel(const core::Grid3D<float, L>& src,
                         core::Grid3D<float, core::ArrayOrderLayout>& dst,
                         const BilateralParams& params, threads::Pool& pool) {
-  const BilateralWeights weights(params.radius, params.sigma_spatial);
-  const core::PlainView<float, L> view(src);
+  const BilateralWeights weights(params);
   const std::size_t pencils = pencil_count(src.extents(), params.pencil);
+  if (params.use_gather) {
+    threads::parallel_for_static_state(
+        pool, pencils,
+        [&](unsigned) {
+          BilateralGatherScratch scratch;
+          scratch.prepare(weights, params.pencil);
+          return scratch;
+        },
+        [&](BilateralGatherScratch& scratch, std::size_t pencil, unsigned) {
+          bilateral_pencil_gather(src, dst, weights, params, pencil, scratch);
+        });
+    return;
+  }
+  const core::PlainView<float, L> view(src);
   threads::parallel_for_static(pool, pencils, [&](std::size_t pencil, unsigned) {
     bilateral_pencil(view, dst, weights, params, pencil);
   });
 }
+
+namespace detail {
+
+/// Invokes fn(i, j, k) for every logical voxel of `e` whose padded-curve
+/// index lies in [begin, end), in curve (storage) order. `cubic` selects
+/// the branch-free magic-bits decode, valid whenever the padded curve is
+/// plain Morton (all padded axes equal); otherwise the anisotropic table
+/// curve decodes through `tables`.
+template <class Fn>
+void zsweep_range(const core::ZOrderTables& tables, const core::Extents3D& e,
+                  bool cubic, std::size_t begin, std::size_t end, Fn&& fn) {
+  if (cubic) {
+    for (std::size_t idx = begin; idx < end; ++idx) {
+      const core::MortonCoord3D c = core::morton_decode_3d(idx);
+      if (e.contains(c.x, c.y, c.z)) {
+        fn(c.x, c.y, c.z);
+      }
+    }
+    return;
+  }
+  for (std::size_t idx = begin; idx < end; ++idx) {
+    const core::Coord3D c = tables.decode(idx);
+    if (e.contains(c.i, c.j, c.k)) {
+      fn(c.i, c.j, c.k);
+    }
+  }
+}
+
+}  // namespace detail
 
 /// Curve-order sweep: processes voxels in Z-curve order instead of
 /// pencils, partitioning the curve into `num_chunks` contiguous ranges
@@ -267,24 +518,29 @@ void bilateral_zsweep(const core::Grid3D<float, L>& src,
   const core::PlainView<float, L> view(src);
   const auto& e = src.extents();
 
-  // Materialize the curve-ordered voxel list once (12 bytes/voxel); chunks
-  // are contiguous curve ranges so each work item is a compact brick.
-  std::vector<core::Coord3D> order;
-  order.reserve(e.size());
-  core::for_each_zorder(e, [&](std::uint32_t i, std::uint32_t j, std::uint32_t k) {
-    order.push_back(core::Coord3D{i, j, k});
-  });
-
-  const std::size_t num_chunks = std::max<std::size_t>(1, pool.size() * chunks_per_thread);
-  const std::size_t chunk_len = (order.size() + num_chunks - 1) / num_chunks;
+  // Chunks are contiguous ranges of the *padded* curve index space, decoded
+  // on the fly — the former materialized 12-byte/voxel order vector (1.6 GB
+  // of peak RSS at 512^3) is gone; padded positions decode-and-skip. Each
+  // work item is still a compact curve brick.
+  const core::ZOrderTables tables(e);
+  const bool cubic = tables.padded().nx == tables.padded().ny &&
+                     tables.padded().ny == tables.padded().nz;
+  const std::size_t cap = tables.capacity();
+  // Scale the chunk count by the padding ratio so the *logical* voxels per
+  // chunk — what each work item actually filters — stays at roughly
+  // size / (threads * chunks_per_thread) even when much of the padded
+  // curve is holes (48^3 pads to 64^3: 58% padding).
+  const std::size_t num_chunks = std::max<std::size_t>(
+      1, pool.size() * chunks_per_thread * cap / std::max<std::size_t>(1, e.size()));
+  const std::size_t chunk_len = (cap + num_chunks - 1) / num_chunks;
   threads::parallel_for_static(pool, num_chunks, [&](std::size_t chunk, unsigned) {
     const std::size_t begin = chunk * chunk_len;
-    const std::size_t end = std::min(order.size(), begin + chunk_len);
-    for (std::size_t n = begin; n < end; ++n) {
-      const core::Coord3D v = order[n];
-      dst.at(v.i, v.j, v.k) =
-          bilateral_voxel(view, v.i, v.j, v.k, weights, params.sigma_range, params.order);
-    }
+    const std::size_t end = std::min(cap, begin + chunk_len);
+    detail::zsweep_range(tables, e, cubic, std::min(begin, end), end,
+                         [&](std::uint32_t i, std::uint32_t j, std::uint32_t k) {
+                           dst.at(i, j, k) = bilateral_voxel(view, i, j, k, weights,
+                                                             params.sigma_range, params.order);
+                         });
   });
 }
 
@@ -297,14 +553,17 @@ void bilateral_zsweep_traced(const core::Grid3D<float, L>& src,
                              std::size_t chunks_per_thread = 8) {
   const BilateralWeights weights(params.radius, params.sigma_spatial);
   const auto& e = src.extents();
-  std::vector<core::Coord3D> order;
-  order.reserve(e.size());
-  core::for_each_zorder(e, [&](std::uint32_t i, std::uint32_t j, std::uint32_t k) {
-    order.push_back(core::Coord3D{i, j, k});
-  });
-  const std::size_t num_chunks =
-      std::max<std::size_t>(1, hierarchy.num_threads() * chunks_per_thread);
-  const std::size_t chunk_len = (order.size() + num_chunks - 1) / num_chunks;
+  // Same padded-curve chunking as bilateral_zsweep (chunk ranges are
+  // layout-independent, so capped replays compare identical voxel sets
+  // across layouts), decoded on the fly — no materialized order vector.
+  const core::ZOrderTables tables(e);
+  const bool cubic = tables.padded().nx == tables.padded().ny &&
+                     tables.padded().ny == tables.padded().nz;
+  const std::size_t cap = tables.capacity();
+  const std::size_t num_chunks = std::max<std::size_t>(
+      1, hierarchy.num_threads() * chunks_per_thread * cap /
+             std::max<std::size_t>(1, e.size()));
+  const std::size_t chunk_len = (cap + num_chunks - 1) / num_chunks;
   const threads::StaticRoundRobin rr(num_chunks, hierarchy.num_threads());
   std::vector<memsim::ThreadSink> sinks;
   sinks.reserve(hierarchy.num_threads());
@@ -318,12 +577,12 @@ void bilateral_zsweep_traced(const core::Grid3D<float, L>& src,
     }
     const core::TracedView<float, L, memsim::ThreadSink> view(src, sinks[assignment.tid]);
     const std::size_t begin = assignment.item * chunk_len;
-    const std::size_t end = std::min(order.size(), begin + chunk_len);
-    for (std::size_t n = begin; n < end; ++n) {
-      const core::Coord3D v = order[n];
-      dst.at(v.i, v.j, v.k) =
-          bilateral_voxel(view, v.i, v.j, v.k, weights, params.sigma_range, params.order);
-    }
+    const std::size_t end = std::min(cap, begin + chunk_len);
+    detail::zsweep_range(tables, e, cubic, std::min(begin, end), end,
+                         [&](std::uint32_t i, std::uint32_t j, std::uint32_t k) {
+                           dst.at(i, j, k) = bilateral_voxel(view, i, j, k, weights,
+                                                             params.sigma_range, params.order);
+                         });
   }
 }
 

@@ -104,4 +104,25 @@ void parallel_for_dynamic(Pool& pool, std::size_t num_items,
 void parallel_for_static(Pool& pool, std::size_t num_items,
                          const std::function<void(std::size_t, unsigned)>& fn);
 
+/// parallel_for_static with per-worker state: `make(tid)` runs once per
+/// worker before its first item — scratch buffers are sized once per
+/// parallel region, not once per item — then fn(state, item, tid) runs for
+/// the worker's items in execution order. Item ownership is identical to
+/// parallel_for_static / StaticRoundRobin; workers with no items never
+/// construct a state.
+template <class MakeState, class Fn>
+void parallel_for_static_state(Pool& pool, std::size_t num_items, MakeState&& make,
+                               Fn&& fn) {
+  const unsigned num_threads = pool.size();
+  pool.run([&, num_threads](unsigned tid) {
+    if (tid >= num_items) {
+      return;
+    }
+    auto state = make(tid);
+    for (std::size_t item = tid; item < num_items; item += num_threads) {
+      fn(state, item, tid);
+    }
+  });
+}
+
 }  // namespace sfcvis::threads

@@ -263,3 +263,55 @@ TEST(MortonConstexpr, UsableAtCompileTime) {
                 core::MortonCoord2D{1000, 2000});
   SUCCEED();
 }
+
+TEST(MortonStep, SignedStepMatchesReencode) {
+  std::mt19937 rng(54);
+  std::uniform_int_distribution<std::uint32_t> coord(64, (1u << 21) - 65);
+  std::uniform_int_distribution<std::int32_t> delta(-64, 64);
+  for (int n = 0; n < 10000; ++n) {
+    const std::uint32_t x = coord(rng), y = coord(rng), z = coord(rng);
+    const std::int32_t d = delta(rng);
+    const auto m = core::morton_encode_3d(x, y, z);
+    EXPECT_EQ(core::morton_step_x(m, d), core::morton_encode_3d(x + d, y, z));
+    EXPECT_EQ(core::morton_step_y(m, d), core::morton_encode_3d(x, y + d, z));
+    EXPECT_EQ(core::morton_step_z(m, d), core::morton_encode_3d(x, y, z + d));
+  }
+}
+
+TEST(MortonStep, UnitStepMatchesIncDec) {
+  std::mt19937 rng(55);
+  std::uniform_int_distribution<std::uint32_t> dist(1, (1u << 21) - 2);
+  for (int n = 0; n < 5000; ++n) {
+    const auto m = core::morton_encode_3d(dist(rng), dist(rng), dist(rng));
+    EXPECT_EQ(core::morton_step_x(m, 1), core::morton_inc_x(m));
+    EXPECT_EQ(core::morton_step_y(m, 1), core::morton_inc_y(m));
+    EXPECT_EQ(core::morton_step_z(m, 1), core::morton_inc_z(m));
+    EXPECT_EQ(core::morton_step_x(m, -1), core::morton_dec_x(m));
+    EXPECT_EQ(core::morton_step_y(m, -1), core::morton_dec_y(m));
+    EXPECT_EQ(core::morton_step_z(m, -1), core::morton_dec_z(m));
+    EXPECT_EQ(core::morton_step_x(m, 0), m);
+    EXPECT_EQ(core::morton_step_y(m, 0), m);
+    EXPECT_EQ(core::morton_step_z(m, 0), m);
+  }
+}
+
+TEST(MortonStep, SignedStepWrapsModulo21Bits) {
+  // Axis arithmetic is modulo 2^21, like coordinate arithmetic on the
+  // dilated axis field: stepping past either end wraps, and inverse steps
+  // cancel wherever they land.
+  constexpr std::uint32_t kMask = (1u << 21) - 1;
+  const auto m = core::morton_encode_3d(5, 10, 20);
+  EXPECT_EQ(core::morton_step_x(m, -6), core::morton_encode_3d((5 - 6) & kMask, 10, 20));
+  EXPECT_EQ(core::morton_step_z(core::morton_encode_3d(0, 0, kMask), 1),
+            core::morton_encode_3d(0, 0, 0));
+  std::mt19937 rng(56);
+  std::uniform_int_distribution<std::uint32_t> dist(0, kMask);
+  std::uniform_int_distribution<std::int32_t> delta(-100000, 100000);
+  for (int n = 0; n < 2000; ++n) {
+    const auto z = core::morton_encode_3d(dist(rng), dist(rng), dist(rng));
+    const std::int32_t d = delta(rng);
+    EXPECT_EQ(core::morton_step_x(core::morton_step_x(z, d), -d), z);
+    EXPECT_EQ(core::morton_step_y(core::morton_step_y(z, d), -d), z);
+    EXPECT_EQ(core::morton_step_z(core::morton_step_z(z, d), -d), z);
+  }
+}

@@ -270,3 +270,82 @@ TEST(OmpExecutor, DynamicVisitsAllItemsOnce) {
     ASSERT_EQ(visits[i].load(), 1);
   }
 }
+
+TEST(ParallelForState, VisitsAllItemsWithStaticOwnership) {
+  Pool pool(3);
+  const std::size_t n = 100;
+  std::vector<std::atomic<unsigned>> owner(n);
+  std::vector<std::atomic<int>> visits(n);
+  threads::parallel_for_static_state(
+      pool, n, [](unsigned tid) { return tid; },
+      [&](unsigned& state, std::size_t item, unsigned tid) {
+        EXPECT_EQ(state, tid);
+        owner[item].store(tid);
+        visits[item].fetch_add(1);
+      });
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(visits[i].load(), 1);
+    EXPECT_EQ(owner[i].load(), i % 3);
+  }
+}
+
+TEST(ParallelForState, MakeRunsOncePerActiveWorker) {
+  Pool pool(4);
+  std::atomic<int> makes{0};
+  std::vector<std::atomic<int>> per_state_items(4);
+  threads::parallel_for_static_state(
+      pool, 50,
+      [&](unsigned tid) {
+        makes.fetch_add(1);
+        return tid;
+      },
+      [&](unsigned& state, std::size_t, unsigned) {
+        per_state_items[state].fetch_add(1);
+      });
+  EXPECT_EQ(makes.load(), 4);
+  int total = 0;
+  for (const auto& c : per_state_items) {
+    total += c.load();
+  }
+  EXPECT_EQ(total, 50);
+}
+
+TEST(ParallelForState, IdleWorkersConstructNoState) {
+  // 6 workers, 2 items: only workers 0 and 1 own items; the rest must not
+  // pay for (possibly expensive) scratch construction.
+  Pool pool(6);
+  std::atomic<int> makes{0};
+  std::vector<std::atomic<int>> visits(2);
+  threads::parallel_for_static_state(
+      pool, 2,
+      [&](unsigned tid) {
+        makes.fetch_add(1);
+        return tid;
+      },
+      [&](unsigned&, std::size_t item, unsigned) { visits[item].fetch_add(1); });
+  EXPECT_EQ(makes.load(), 2);
+  EXPECT_EQ(visits[0].load(), 1);
+  EXPECT_EQ(visits[1].load(), 1);
+}
+
+TEST(ParallelForState, StatePersistsAcrossItemsOfOneWorker) {
+  // Each worker's state accumulates its item count; matches items_for().
+  Pool pool(3);
+  const std::size_t n = 31;
+  std::vector<int> counts(3, -1);
+  std::mutex mu;
+  threads::parallel_for_static_state(
+      pool, n, [](unsigned) { return 0; },
+      [&](int& state, std::size_t item, unsigned tid) {
+        ++state;
+        const threads::StaticRoundRobin rr(n, 3);
+        if (item == rr.items_for(tid).back()) {
+          const std::lock_guard<std::mutex> lock(mu);
+          counts[tid] = state;
+        }
+      });
+  const threads::StaticRoundRobin rr(n, 3);
+  for (unsigned t = 0; t < 3; ++t) {
+    EXPECT_EQ(counts[t], static_cast<int>(rr.items_for(t).size()));
+  }
+}
