@@ -1,0 +1,75 @@
+// The golden-checksum registry: one place that computes every pinned
+// end-to-end checksum, shared by tests/test_regression.cpp (which compares
+// against the committed table in tests/goldens.inc) and tools/regen_goldens
+// (which recomputes the table, rewrites the file, and prints the diff).
+//
+// Keeping computation in one translation unit means the test and the regen
+// tool can never drift apart: a legitimate algorithm change updates the
+// table by running the tool, not by hand-editing hex.
+//
+// The checksums are FNV-1a over output *bit patterns*, so they pin results
+// to the exact float. They are toolchain-sensitive by design (the build
+// uses -march=native; FMA contraction and libm differences legally change
+// low bits): regenerate on the machine whose results you mean to pin.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "sfcvis/core/grid.hpp"
+#include "sfcvis/render/image.hpp"
+
+namespace sfcvis::verify {
+
+/// FNV-1a over bit patterns (floats and integers alike).
+class Fnv {
+ public:
+  void feed(float value) noexcept {
+    std::uint32_t bits;
+    std::memcpy(&bits, &value, sizeof(bits));
+    feed_bytes(bits, 4);
+  }
+
+  void feed(std::uint64_t bits) noexcept { feed_bytes(bits, 8); }
+
+  [[nodiscard]] std::uint64_t value() const noexcept { return hash_; }
+
+ private:
+  void feed_bytes(std::uint64_t bits, int count) noexcept {
+    for (int b = 0; b < count; ++b) {
+      hash_ ^= (bits >> (8 * b)) & 0xffu;
+      hash_ *= 0x100000001b3ULL;
+    }
+  }
+
+  std::uint64_t hash_ = 0xcbf29ce484222325ULL;
+};
+
+/// Checksum of a grid's logical contents in array-order (layout-blind).
+template <class GridT>
+[[nodiscard]] std::uint64_t grid_checksum(const GridT& g) {
+  Fnv fnv;
+  g.for_each_index([&](std::uint32_t i, std::uint32_t j, std::uint32_t k) {
+    fnv.feed(g.at(i, j, k));
+  });
+  return fnv.value();
+}
+
+/// Checksum of an image's RGBA channels in pixel order.
+[[nodiscard]] std::uint64_t image_checksum(const render::Image& img);
+
+/// One pinned checksum.
+struct GoldenEntry {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+/// Computes every golden checksum the regression suite pins: datasets,
+/// bilateral configurations (exact and gather fast paths), renders (dense
+/// and macrocell), and the integer-only codec/fuzz-field checksums that are
+/// portable across toolchains.
+[[nodiscard]] std::vector<GoldenEntry> compute_goldens();
+
+}  // namespace sfcvis::verify

@@ -1,0 +1,92 @@
+// Deterministic, platform-independent pseudo-random generator for the
+// differential fuzz harness.
+//
+// std::mt19937 engines are bit-reproducible, but the standard library's
+// *distributions* are not specified bit-exactly across implementations —
+// and a fuzz seed that reproduces on the CI runner but not on a developer
+// laptop is worthless. SplitMix64 (Steele, Lea & Flood 2014; the seeding
+// engine of java.util.SplittableRandom and xoshiro) is five integer ops
+// per draw with a fully specified output sequence, and the derived helpers
+// below use only integer arithmetic plus exact power-of-two float scaling,
+// so `fuzz_layouts --seed=N` generates the identical case everywhere.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace sfcvis::verify {
+
+/// SplitMix64: 64-bit state, 64-bit output, period 2^64.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  /// Next 64 uniform bits.
+  constexpr std::uint64_t next() noexcept {
+    state_ += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound); bound must be >= 1. Uses 64 fresh bits
+  /// per draw, so the modulo bias is < 2^-32 for any bound the harness uses.
+  constexpr std::uint64_t below(std::uint64_t bound) noexcept {
+    return next() % bound;
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  constexpr std::uint64_t range(std::uint64_t lo, std::uint64_t hi) noexcept {
+    return lo + below(hi - lo + 1);
+  }
+
+  /// Uniform float in [0, 1): the high 24 bits scaled by 2^-24 (exact).
+  constexpr float unit_float() noexcept {
+    return static_cast<float>(next() >> 40) * 0x1.0p-24f;
+  }
+
+  /// Uniform float in [lo, hi).
+  constexpr float uniform(float lo, float hi) noexcept {
+    return lo + (hi - lo) * unit_float();
+  }
+
+  /// True with probability `percent` / 100.
+  constexpr bool chance(unsigned percent) noexcept { return below(100) < percent; }
+
+  /// Uniformly picks one element of a non-empty span.
+  template <class T>
+  constexpr const T& pick(std::span<const T> options) noexcept {
+    return options[below(options.size())];
+  }
+  template <class T, std::size_t N>
+  constexpr const T& pick(const T (&options)[N]) noexcept {
+    return options[below(N)];
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Stateless coordinate hash for deterministic, layout-independent volume
+/// contents: the value at (i, j, k) depends only on (seed, i, j, k), never
+/// on fill order, so every layout's grid is guaranteed identical by
+/// construction. SplitMix64's finalizer doubles as the mixer.
+[[nodiscard]] constexpr std::uint64_t hash_coord(std::uint64_t seed, std::uint32_t i,
+                                                 std::uint32_t j, std::uint32_t k) noexcept {
+  std::uint64_t z = seed ^ (static_cast<std::uint64_t>(i) |
+                            (static_cast<std::uint64_t>(j) << 21) |
+                            (static_cast<std::uint64_t>(k) << 42));
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// hash_coord reduced to a float in [0, 1).
+[[nodiscard]] constexpr float hash_unit(std::uint64_t seed, std::uint32_t i,
+                                        std::uint32_t j, std::uint32_t k) noexcept {
+  return static_cast<float>(hash_coord(seed, i, j, k) >> 40) * 0x1.0p-24f;
+}
+
+}  // namespace sfcvis::verify

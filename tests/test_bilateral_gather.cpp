@@ -234,6 +234,76 @@ TEST(BilateralGather, MatchesReferenceAcrossRadiiAndThreadCounts) {
 }
 
 // ---------------------------------------------------------------------------
+// Full mode-combination matrix
+// ---------------------------------------------------------------------------
+
+TEST(BilateralGather, FullModeCombinationMatrix) {
+  // Sweeps gather x {exact, fast_exp, lut, fast_exp+lut} x all three pencil
+  // axes x both iteration orders, on both layouts — the combinations the
+  // targeted tests above only sample. Accuracy tiers vs the serial
+  // reference follow the documented contracts; cross-layout outputs must
+  // be bit-identical for every combination.
+  const Extents3D e{12, 11, 13};
+  Grid3D<float, ArrayOrderLayout> src(e);
+  fill_noisy_step(src);
+  Grid3D<float, ZOrderLayout> zsrc(e);
+  zsrc.copy_from(src);
+  Grid3D<float, ArrayOrderLayout> ref(e);
+  filters::bilateral_reference(src, ref, 2, 1.5f, 0.1f);
+
+  for (const PencilAxis axis : {PencilAxis::kX, PencilAxis::kY, PencilAxis::kZ}) {
+    for (const LoopOrder order : {LoopOrder::kXYZ, LoopOrder::kZYX}) {
+      for (const bool fast : {false, true}) {
+        for (const bool lut : {false, true}) {
+          BilateralParams params;
+          params.radius = 2;
+          params.pencil = axis;
+          params.order = order;
+          params.use_gather = true;
+          params.fast_exp = fast;
+          params.use_range_lut = lut;
+          SCOPED_TRACE(::testing::Message()
+                       << "axis=" << static_cast<int>(axis)
+                       << " order=" << static_cast<int>(order) << " fast=" << fast
+                       << " lut=" << lut);
+
+          const auto out = run_parallel(src, params);
+          const auto zout = run_parallel(zsrc, params);
+          expect_grids_identical(out, zout);  // layout transparency, always
+
+          if (lut) {
+            expect_grids_near(out, ref, 5e-4f);
+          } else if (fast) {
+            expect_grids_near(out, ref, 1e-5f);
+          } else if (axis == PencilAxis::kZ && order == LoopOrder::kXYZ) {
+            expect_grids_identical(out, ref);  // shared tap order: exact
+          } else {
+            expect_grids_near(out, ref, 1e-5f);  // reassociation only
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(BilateralGather, LutTakesPrecedenceOverFastExp) {
+  // With both approximations requested the kernel uses the LUT (fast_exp
+  // applies only when the LUT is off); the both-set configuration must be
+  // bit-identical to lut-only, not a third numeric behaviour.
+  const Extents3D e = Extents3D::cube(10);
+  Grid3D<float, ArrayOrderLayout> src(e);
+  fill_noisy_step(src);
+  BilateralParams params;
+  params.pencil = PencilAxis::kZ;
+  params.use_gather = true;
+  params.use_range_lut = true;
+  params.fast_exp = false;
+  const auto lut_only = run_parallel(src, params);
+  params.fast_exp = true;
+  expect_grids_identical(run_parallel(src, params), lut_only);
+}
+
+// ---------------------------------------------------------------------------
 // Degenerate shapes: every driver vs the reference
 // ---------------------------------------------------------------------------
 

@@ -315,3 +315,48 @@ TEST(MortonStep, SignedStepWrapsModulo21Bits) {
     EXPECT_EQ(core::morton_step_z(core::morton_step_z(z, d), -d), z);
   }
 }
+
+TEST(MortonStep, WraparoundAt21BitBoundaryAllAxes) {
+  // The hard case for the dilated-add trick: incrementing 2^21-1 must carry
+  // through all 21 interleaved bit positions, wrap the stepped axis to 0,
+  // and leave the other two axis fields untouched — even when those fields
+  // are all-ones too (their bits are exactly the ones a leaked carry would
+  // flip).
+  constexpr std::uint32_t kMax = (1u << 21) - 1;
+  for (const std::uint32_t other : {0u, 1u, 0x155555u, kMax}) {
+    SCOPED_TRACE(other);
+    const auto x_hi = core::morton_encode_3d(kMax, other, other);
+    const auto y_hi = core::morton_encode_3d(other, kMax, other);
+    const auto z_hi = core::morton_encode_3d(other, other, kMax);
+    const auto x_lo = core::morton_encode_3d(0, other, other);
+    const auto y_lo = core::morton_encode_3d(other, 0, other);
+    const auto z_lo = core::morton_encode_3d(other, other, 0);
+    // Ascending across the boundary: max -> 0, via both inc_* and step(+1).
+    EXPECT_EQ(core::morton_inc_x(x_hi), x_lo);
+    EXPECT_EQ(core::morton_inc_y(y_hi), y_lo);
+    EXPECT_EQ(core::morton_inc_z(z_hi), z_lo);
+    EXPECT_EQ(core::morton_step_x(x_hi, 1), x_lo);
+    EXPECT_EQ(core::morton_step_y(y_hi, 1), y_lo);
+    EXPECT_EQ(core::morton_step_z(z_hi, 1), z_lo);
+    // Descending across the boundary: 0 -> max, via both dec_* and step(-1).
+    EXPECT_EQ(core::morton_dec_x(x_lo), x_hi);
+    EXPECT_EQ(core::morton_dec_y(y_lo), y_hi);
+    EXPECT_EQ(core::morton_dec_z(z_lo), z_hi);
+    EXPECT_EQ(core::morton_step_x(x_lo, -1), x_hi);
+    EXPECT_EQ(core::morton_step_y(y_lo, -1), y_hi);
+    EXPECT_EQ(core::morton_step_z(z_lo, -1), z_hi);
+  }
+  // All three axes saturated at once: each increment wraps only its own
+  // axis and the other two all-ones fields survive the full carry ripple.
+  const auto all_max = core::morton_encode_3d(kMax, kMax, kMax);
+  EXPECT_EQ(core::morton_inc_x(all_max), core::morton_encode_3d(0, kMax, kMax));
+  EXPECT_EQ(core::morton_inc_y(all_max), core::morton_encode_3d(kMax, 0, kMax));
+  EXPECT_EQ(core::morton_inc_z(all_max), core::morton_encode_3d(kMax, kMax, 0));
+  // Multi-unit signed steps straddling the boundary in both directions.
+  EXPECT_EQ(core::morton_step_x(core::morton_encode_3d(kMax - 2, 7, 9), 5),
+            core::morton_encode_3d(2, 7, 9));
+  EXPECT_EQ(core::morton_step_y(core::morton_encode_3d(7, 3, 9), -10),
+            core::morton_encode_3d(7, (3u - 10u) & kMax, 9));
+  EXPECT_EQ(core::morton_step_z(core::morton_encode_3d(7, 9, kMax), 2),
+            core::morton_encode_3d(7, 9, 1));
+}

@@ -1,0 +1,220 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over the --quick ablation benches.
+
+Runs a fixed set of bench binaries in quick mode, collects their CSV
+tables, writes a BENCH_<sha>.json snapshot, and compares the
+*deterministic* tables (memsim counters / modeled cycles — bit-stable
+across runs and machines) against the committed baseline
+bench/BENCH_baseline.json. A gated cell that moves more than the
+threshold (default 15%) in the bad direction fails the gate.
+
+Wall-clock tables are collected and reported too, but never gate: CI
+machines are too noisy for sub-2x timing comparisons to mean anything.
+
+Usage:
+  tools/bench_gate.py [--build-dir=build] [--threshold=0.15]
+                      [--baseline=bench/BENCH_baseline.json]
+                      [--out-dir=<build-dir>] [--update-baseline]
+
+Exit codes: 0 gate passed (or baseline updated), 1 regression detected,
+2 usage / environment error.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+# Bench binaries to run (all in --quick mode) and, per binary, which of
+# their CSV tables gate and in which direction.
+#   "lower"  — regression is an increase  (misses, cycles)
+#   "higher" — regression is a decrease   (skip rate)
+#   "advisory" — record + report, never fail (wall-clock)
+BENCHES = [
+    {
+        "binary": "abl_traversal",
+        "args": ["--quick"],
+        "tables": {
+            "abl_traversal_escapes.csv": "lower",
+            "abl_traversal_cycles.csv": "lower",
+        },
+    },
+    {
+        "binary": "abl_empty_space",
+        "args": ["--quick"],
+        "tables": {
+            "abl_empty_fills.csv": "lower",
+            "abl_empty_skiprate.csv": "higher",
+            "abl_empty_runtime.csv": "advisory",
+            "abl_empty_speedup.csv": "advisory",
+        },
+    },
+]
+
+# Baseline cells with magnitude below this are compared absolutely (a
+# relative delta against ~0 is meaningless).
+ABS_FLOOR = 1e-9
+
+
+def read_csv_table(path):
+    """Parses a ResultTable CSV: header `row,<col>...`, one line per row."""
+    with open(path, "r", encoding="utf-8") as f:
+        lines = [ln.rstrip("\n") for ln in f if ln.strip()]
+    cols = lines[0].split(",")[1:]
+    rows, cells = [], []
+    for ln in lines[1:]:
+        parts = ln.split(",")
+        rows.append(parts[0])
+        cells.append([float(v) for v in parts[1:]])
+    return {"cols": cols, "rows": rows, "cells": cells}
+
+
+def git_sha(repo_root):
+    try:
+        out = subprocess.run(
+            ["git", "-C", repo_root, "rev-parse", "--short=12", "HEAD"],
+            capture_output=True, text=True, check=True)
+        return out.stdout.strip()
+    except (subprocess.CalledProcessError, OSError):
+        return "unknown"
+
+
+def run_benches(build_dir):
+    """Runs every bench with --csv-dir into a temp dir; returns tables."""
+    tables = {}
+    directions = {}
+    with tempfile.TemporaryDirectory(prefix="bench_gate_") as csv_dir:
+        for bench in BENCHES:
+            binary = os.path.join(build_dir, "bench", bench["binary"])
+            if not os.path.exists(binary):
+                print(f"error: bench binary not found: {binary}", file=sys.stderr)
+                print("       (build with -DSFCVIS_BUILD_BENCH=ON)", file=sys.stderr)
+                sys.exit(2)
+            cmd = [binary, *bench["args"], f"--csv-dir={csv_dir}"]
+            print(f"[bench_gate] running {' '.join(cmd)}")
+            proc = subprocess.run(cmd, capture_output=True, text=True)
+            if proc.returncode != 0:
+                print(proc.stdout, file=sys.stderr)
+                print(proc.stderr, file=sys.stderr)
+                print(f"error: {bench['binary']} exited {proc.returncode}",
+                      file=sys.stderr)
+                sys.exit(2)
+            for name, direction in bench["tables"].items():
+                path = os.path.join(csv_dir, name)
+                if not os.path.exists(path):
+                    print(f"error: {bench['binary']} did not write {name}",
+                          file=sys.stderr)
+                    sys.exit(2)
+                tables[name] = read_csv_table(path)
+                directions[name] = direction
+    return tables, directions
+
+
+def compare(baseline, current, directions, threshold):
+    """Returns (regressions, advisories): lists of human-readable lines."""
+    regressions, advisories = [], []
+    for name, direction in sorted(directions.items()):
+        if name not in baseline.get("tables", {}):
+            advisories.append(f"{name}: not in baseline (new table; gate skipped)")
+            continue
+        base = baseline["tables"][name]
+        cur = current[name]
+        if base["rows"] != cur["rows"] or base["cols"] != cur["cols"]:
+            regressions.append(
+                f"{name}: table shape changed vs baseline "
+                f"(rows/cols differ); rerun with --update-baseline if intended")
+            continue
+        for r, row in enumerate(base["rows"]):
+            for c, col in enumerate(base["cols"]):
+                b, v = base["cells"][r][c], cur["cells"][r][c]
+                if abs(b) < ABS_FLOOR:
+                    delta = abs(v - b)
+                    regressed = direction != "advisory" and delta > ABS_FLOOR
+                    desc = f"{b:.6g} -> {v:.6g} (baseline ~0)"
+                else:
+                    rel = (v - b) / abs(b)
+                    if direction == "lower":
+                        regressed = rel > threshold
+                    elif direction == "higher":
+                        regressed = -rel > threshold
+                    else:
+                        regressed = False
+                    desc = f"{b:.6g} -> {v:.6g} ({rel:+.1%})"
+                line = f"{name} [{row} | {col}]: {desc}"
+                if regressed:
+                    regressions.append(line)
+                elif direction == "advisory" and abs(b) >= ABS_FLOOR and \
+                        abs(v - b) / abs(b) > threshold:
+                    advisories.append(line)
+    return regressions, advisories
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--build-dir", default="build")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="relative regression threshold (default 0.15)")
+    parser.add_argument("--baseline", default=None,
+                        help="baseline JSON (default <repo>/bench/BENCH_baseline.json)")
+    parser.add_argument("--out-dir", default=None,
+                        help="where BENCH_<sha>.json is written (default build dir)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline from this run and exit 0")
+    args = parser.parse_args()
+
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    baseline_path = args.baseline or os.path.join(repo_root, "bench",
+                                                  "BENCH_baseline.json")
+    out_dir = args.out_dir or args.build_dir
+
+    tables, directions = run_benches(args.build_dir)
+    sha = git_sha(repo_root)
+    snapshot = {
+        "sha": sha,
+        "threshold": args.threshold,
+        "directions": directions,
+        "tables": tables,
+    }
+    os.makedirs(out_dir, exist_ok=True)
+    out_path = os.path.join(out_dir, f"BENCH_{sha}.json")
+    with open(out_path, "w", encoding="utf-8") as f:
+        json.dump(snapshot, f, indent=1, sort_keys=True)
+        f.write("\n")
+    print(f"[bench_gate] wrote {out_path}")
+
+    if args.update_baseline:
+        with open(baseline_path, "w", encoding="utf-8") as f:
+            json.dump(snapshot, f, indent=1, sort_keys=True)
+            f.write("\n")
+        print(f"[bench_gate] baseline updated: {baseline_path}")
+        return 0
+
+    if not os.path.exists(baseline_path):
+        print(f"error: no baseline at {baseline_path}; create one with "
+              f"--update-baseline on a known-good commit", file=sys.stderr)
+        return 2
+    with open(baseline_path, "r", encoding="utf-8") as f:
+        baseline = json.load(f)
+
+    regressions, advisories = compare(baseline, tables, directions,
+                                      args.threshold)
+    for line in advisories:
+        print(f"[bench_gate] advisory: {line}")
+    if regressions:
+        print(f"[bench_gate] FAIL: {len(regressions)} gated cell(s) regressed "
+              f"more than {args.threshold:.0%} vs baseline "
+              f"{baseline.get('sha', '?')}:", file=sys.stderr)
+        for line in regressions:
+            print(f"  {line}", file=sys.stderr)
+        print("  (if the change is an intended tradeoff, rerun with "
+              "--update-baseline and commit the new baseline)", file=sys.stderr)
+        return 1
+    print(f"[bench_gate] OK: all gated tables within {args.threshold:.0%} of "
+          f"baseline {baseline.get('sha', '?')}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

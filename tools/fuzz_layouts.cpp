@@ -1,0 +1,140 @@
+// Differential layout-oracle fuzz driver (see src/sfcvis/verify/fuzz.hpp).
+//
+// Runs seeds [start-seed, start-seed + seeds): each seed generates a volume
+// shape, contents, and kernel configurations, runs every kernel across all
+// four layouts, and checks cross-layout bit-identity (plus documented
+// approximation tiers against the serial references). Every few seeds a
+// metamorphic raycaster case (mirror-flip and macrocell-identity
+// invariants) runs as well.
+//
+// Exit status is 0 iff every oracle comparison passed. On failure the
+// first DiffReports are printed and, with --out, a repro file is written
+// containing one line per failing seed — re-run any of them standalone
+// with --start-seed=<seed> --seeds=1.
+//
+// Usage:
+//   fuzz_layouts [--seeds=N] [--start-seed=N] [--quick|--full]
+//                [--metamorphic-every=N] [--out=FILE] [--verbose]
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "sfcvis/verify/fuzz.hpp"
+
+namespace verify = sfcvis::verify;
+
+namespace {
+
+struct Options {
+  std::uint64_t seeds = 50;
+  std::uint64_t start_seed = 0;
+  bool quick = true;
+  std::uint64_t metamorphic_every = 4;  ///< 0 disables metamorphic cases
+  std::string out;
+  bool verbose = false;
+};
+
+bool parse_u64(const char* arg, const char* prefix, std::uint64_t& value) {
+  const std::size_t n = std::strlen(prefix);
+  if (std::strncmp(arg, prefix, n) != 0) {
+    return false;
+  }
+  value = std::strtoull(arg + n, nullptr, 10);
+  return true;
+}
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--seeds=N] [--start-seed=N] [--quick|--full]\n"
+               "          [--metamorphic-every=N] [--out=FILE] [--verbose]\n",
+               argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int a = 1; a < argc; ++a) {
+    const char* arg = argv[a];
+    if (parse_u64(arg, "--seeds=", opt.seeds) ||
+        parse_u64(arg, "--start-seed=", opt.start_seed) ||
+        parse_u64(arg, "--metamorphic-every=", opt.metamorphic_every)) {
+      continue;
+    }
+    if (std::strcmp(arg, "--quick") == 0) {
+      opt.quick = true;
+    } else if (std::strcmp(arg, "--full") == 0) {
+      opt.quick = false;
+    } else if (std::strncmp(arg, "--out=", 6) == 0) {
+      opt.out = arg + 6;
+    } else if (std::strcmp(arg, "--verbose") == 0) {
+      opt.verbose = true;
+    } else {
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  const verify::FuzzOptions fuzz_opts{.quick = opt.quick};
+  std::uint64_t total_checks = 0;
+  std::uint64_t failed_checks = 0;
+  std::vector<std::string> repro_lines;
+  std::uint64_t printed = 0;
+  constexpr std::uint64_t kMaxPrintedFailures = 20;
+
+  const auto consume = [&](const verify::FuzzSummary& summary, const char* kind) {
+    total_checks += summary.checks;
+    if (opt.verbose) {
+      std::printf("seed %llu (%s): %s — %u checks, %zu failures\n",
+                  static_cast<unsigned long long>(summary.seed), kind,
+                  summary.description.c_str(), summary.checks, summary.failures.size());
+    }
+    if (summary.ok()) {
+      return;
+    }
+    failed_checks += summary.failures.size();
+    std::string line = "seed=" + std::to_string(summary.seed) + " kind=" + kind +
+                       " desc=" + summary.description;
+    for (const auto& failure : summary.failures) {
+      if (printed < kMaxPrintedFailures) {
+        std::fprintf(stderr, "seed %llu (%s): %s\n",
+                     static_cast<unsigned long long>(summary.seed), kind,
+                     failure.to_string().c_str());
+        ++printed;
+      }
+      line += "\n  " + failure.to_string();
+    }
+    repro_lines.push_back(std::move(line));
+  };
+
+  for (std::uint64_t s = 0; s < opt.seeds; ++s) {
+    const std::uint64_t seed = opt.start_seed + s;
+    consume(verify::run_fuzz_case(seed, fuzz_opts), "fuzz");
+    if (opt.metamorphic_every != 0 && s % opt.metamorphic_every == 0) {
+      consume(verify::run_metamorphic_case(seed, fuzz_opts), "metamorphic");
+    }
+  }
+
+  if (!repro_lines.empty() && !opt.out.empty()) {
+    std::ofstream out(opt.out);
+    out << "# fuzz_layouts failing seeds (" << (opt.quick ? "--quick" : "--full")
+        << "); re-run one with --start-seed=<seed> --seeds=1\n";
+    for (const auto& line : repro_lines) {
+      out << line << "\n";
+    }
+    std::fprintf(stderr, "wrote %zu failing repro(s) to %s\n", repro_lines.size(),
+                 opt.out.c_str());
+  }
+
+  std::printf("fuzz_layouts: %llu seeds starting at %llu (%s): %llu checks, %llu failed\n",
+              static_cast<unsigned long long>(opt.seeds),
+              static_cast<unsigned long long>(opt.start_seed),
+              opt.quick ? "quick" : "full",
+              static_cast<unsigned long long>(total_checks),
+              static_cast<unsigned long long>(failed_checks));
+  return failed_checks == 0 ? 0 : 1;
+}
