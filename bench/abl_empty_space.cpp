@@ -19,6 +19,7 @@
 int main(int argc, char** argv) {
   using namespace sfcvis;
   const bench_util::Options opts(argc, argv);
+  bench::TraceSession trace_session(opts);
   const bool quick = opts.get_flag("quick");
   const std::uint32_t size = opts.get_u32("size", quick ? 32 : 64);
   const std::uint32_t image = opts.get_u32("image", quick ? 64 : 128);
@@ -90,10 +91,11 @@ int main(int argc, char** argv) {
         runtime.set(row0 + 1 + bi, c, accel);
         const std::size_t gain_row = layout_idx * blocks.size() + bi;
         speedup.set(gain_row, c, accel > 0.0 ? dense / accel : 0.0);
-        render::RenderStats stats;
+        trace::Tracer::instance().reset_metrics();
         (void)render::raycast_parallel(volume, camera, tf, config, pool, &grids[bi],
-                                       &stats);
-        skiprate.set(gain_row, c, 100.0 * stats.skip_rate());
+                                       /*collect_stats=*/true);
+        const auto metrics = trace::Tracer::instance().metrics_snapshot();
+        skiprate.set(gain_row, c, 100.0 * render::skip_rate(metrics));
       }
     }
   };

@@ -40,6 +40,7 @@ float max_abs_diff(const sfcvis::core::Grid3D<float, sfcvis::core::ArrayOrderLay
 int main(int argc, char** argv) {
   using namespace sfcvis;
   const bench_util::Options opts(argc, argv);
+  bench::TraceSession trace_session(opts);
   const bool quick = opts.get_flag("quick");
   const std::vector<std::uint32_t> sizes =
       opts.has("size") ? std::vector<std::uint32_t>{opts.get_u32("size", 0)}

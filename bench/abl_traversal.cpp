@@ -13,6 +13,7 @@
 int main(int argc, char** argv) {
   using namespace sfcvis;
   const bench_util::Options opts(argc, argv);
+  bench::TraceSession trace_session(opts);
   const bool quick = opts.get_flag("quick");
   const std::uint32_t size = opts.get_u32("size", quick ? 24 : 48);
   const unsigned nthreads = opts.get_u32("threads", 4);

@@ -38,6 +38,7 @@ struct BilateralFigure {
 inline int run_bilateral_figure(const BilateralFigure& figure, int argc,
                                 const char* const* argv) {
   const bench_util::Options opts(argc, argv);
+  bench::TraceSession trace_session(opts);
   const bool quick = opts.get_flag("quick");
   const std::uint32_t size = opts.get_u32("size", quick ? 24 : figure.default_size);
   const auto thread_counts = opts.get_u32_list(

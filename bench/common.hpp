@@ -10,6 +10,12 @@
 //   --trace-items=N   replay prefix length for counter runs
 //   --csv-dir=PATH    also write each table as CSV
 //   --quick           shrink everything for a smoke run
+//   --trace           enable span tracing for the whole run
+//   --trace-out=PATH  write a Chrome trace-event JSON (Perfetto-loadable);
+//                     implies --trace
+//   --report-out=PATH write the machine-readable run report JSON (consumed
+//                     by tools/trace_summary.py and tools/bench_gate.py
+//                     --from-report); implies --trace
 //
 // Output: the same tables as the paper's figures — scaled relative
 // differences (Eq. 4), positive = Z-order better.
@@ -28,8 +34,98 @@
 #include "sfcvis/data/phantom.hpp"
 #include "sfcvis/memsim/platforms.hpp"
 #include "sfcvis/perfmon/perf_events.hpp"
+#include "sfcvis/trace/export.hpp"
+#include "sfcvis/trace/trace.hpp"
 
 namespace sfcvis::bench {
+
+/// Scoped tracing for one bench run: construct after parsing options,
+/// and span recording is on for the binary's lifetime whenever --trace,
+/// --trace-out or --report-out was given. The destructor snapshots the
+/// tracer and writes the requested export files; tables passed through
+/// emit_table while a session is active ride along in the run report.
+/// A no-op when none of the tracing options are present.
+class TraceSession {
+ public:
+  explicit TraceSession(const bench_util::Options& opts)
+      : trace_out_(opts.get_string("trace-out", "")),
+        report_out_(opts.get_string("report-out", "")),
+        active_(opts.get_flag("trace") || !trace_out_.empty() || !report_out_.empty()) {
+    if (active_) {
+      current() = this;
+      trace::Tracer::instance().enable();
+    }
+  }
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+  ~TraceSession() { finish(); }
+
+  [[nodiscard]] bool active() const noexcept { return active_; }
+
+  /// Records a bench table for the run report (emit_table calls this).
+  void add_table(const bench_util::ResultTable& table, const std::string& csv_name) {
+    trace::ReportTable rt;
+    rt.name = std::filesystem::path(csv_name).stem().string();
+    rt.title = table.title();
+    rt.rows = table.row_labels();
+    rt.cols = table.col_labels();
+    rt.cells.resize(table.rows());
+    for (std::size_t r = 0; r < table.rows(); ++r) {
+      rt.cells[r].resize(table.cols());
+      for (std::size_t c = 0; c < table.cols(); ++c) {
+        rt.cells[r][c] = table.at(r, c);
+      }
+    }
+    tables_.push_back(std::move(rt));
+  }
+
+  /// Stops tracing and writes the export files once (also run by the
+  /// destructor; calling early lets a bench flush before its exit path).
+  void finish() {
+    if (!active_) {
+      return;
+    }
+    active_ = false;
+    if (current() == this) {
+      current() = nullptr;
+    }
+    auto& tracer = trace::Tracer::instance();
+    // Snapshot before disabling so the report records that spans were live.
+    // Quiescent here: the bench's parallel regions have all joined.
+    const trace::TraceSnapshot snap = tracer.snapshot();
+    const trace::MetricsSnapshot metrics = tracer.metrics_snapshot();
+    tracer.disable();
+    if (!trace_out_.empty()) {
+      if (trace::write_text_file(trace_out_, trace::chrome_trace_json(snap))) {
+        std::printf("[trace] %s (%llu spans, %s)\n", trace_out_.c_str(),
+                    static_cast<unsigned long long>(snap.total_spans()),
+                    snap.counter_source.c_str());
+      } else {
+        std::fprintf(stderr, "[trace] failed to write %s\n", trace_out_.c_str());
+      }
+    }
+    if (!report_out_.empty()) {
+      if (trace::write_text_file(report_out_,
+                                 trace::run_report_json(snap, metrics, tables_))) {
+        std::printf("[trace] %s (%zu tables)\n", report_out_.c_str(), tables_.size());
+      } else {
+        std::fprintf(stderr, "[trace] failed to write %s\n", report_out_.c_str());
+      }
+    }
+  }
+
+  /// The active session, if any (set for the lifetime of a tracing run).
+  static TraceSession*& current() noexcept {
+    static TraceSession* session = nullptr;
+    return session;
+  }
+
+ private:
+  std::string trace_out_;
+  std::string report_out_;
+  bool active_ = false;
+  std::vector<trace::ReportTable> tables_;
+};
 
 /// A pair of identical-content volumes in the two layouts under study.
 struct VolumePair {
@@ -67,6 +163,9 @@ inline void emit_table(const bench_util::ResultTable& table,
   if (!dir.empty()) {
     table.write_csv(std::filesystem::path(dir) / csv_name);
     std::printf("  [csv] %s/%s\n\n", dir.c_str(), csv_name.c_str());
+  }
+  if (TraceSession* session = TraceSession::current()) {
+    session->add_table(table, csv_name);
   }
 }
 

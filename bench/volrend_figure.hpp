@@ -36,6 +36,7 @@ struct VolrendFigure {
 inline int run_volrend_ds_figure(const VolrendFigure& figure, int argc,
                                  const char* const* argv) {
   const bench_util::Options opts(argc, argv);
+  bench::TraceSession trace_session(opts);
   const bool quick = opts.get_flag("quick");
   const std::uint32_t size = opts.get_u32("size", quick ? 32 : figure.default_size);
   const std::uint32_t image = opts.get_u32("image", quick ? 64 : figure.default_image);
@@ -117,6 +118,7 @@ inline int run_volrend_ds_figure(const VolrendFigure& figure, int argc,
 inline int run_volrend_absolute_figure(const VolrendFigure& figure, int argc,
                                        const char* const* argv) {
   const bench_util::Options opts(argc, argv);
+  bench::TraceSession trace_session(opts);
   const bool quick = opts.get_flag("quick");
   const std::uint32_t size = opts.get_u32("size", quick ? 32 : figure.default_size);
   const std::uint32_t image = opts.get_u32("image", quick ? 64 : figure.default_image);

@@ -76,10 +76,12 @@ int main(int argc, char** argv) {
       const double tzs = bench_util::min_time_of(2, [&] {
         (void)render::raycast_parallel(vol_z, camera, tf, config, pool, &cells_z);
       });
-      render::RenderStats stats;
-      (void)render::raycast_parallel(vol_z, camera, tf, config, pool, &cells_z, &stats);
+      trace::Tracer::instance().reset_metrics();
+      (void)render::raycast_parallel(vol_z, camera, tf, config, pool, &cells_z,
+                                     /*collect_stats=*/true);
+      const auto metrics = trace::Tracer::instance().metrics_snapshot();
       std::printf("%-10u %12.4f %12.4f %12.4f %12.4f %7.1f%%   -> %s\n", v, ta, tas, tz,
-                  tzs, 100.0 * stats.skip_rate(), path.string().c_str());
+                  tzs, 100.0 * render::skip_rate(metrics), path.string().c_str());
     } else {
       std::printf("%-10u %14.4f %14.4f   -> %s\n", v, ta, tz, path.string().c_str());
     }

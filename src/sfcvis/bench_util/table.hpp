@@ -24,6 +24,12 @@ class ResultTable {
   [[nodiscard]] std::size_t rows() const noexcept { return row_labels_.size(); }
   [[nodiscard]] std::size_t cols() const noexcept { return col_labels_.size(); }
   [[nodiscard]] const std::string& title() const noexcept { return title_; }
+  [[nodiscard]] const std::vector<std::string>& row_labels() const noexcept {
+    return row_labels_;
+  }
+  [[nodiscard]] const std::vector<std::string>& col_labels() const noexcept {
+    return col_labels_;
+  }
 
   /// Aligned fixed-point text rendering (`precision` fractional digits).
   [[nodiscard]] std::string to_text(int precision = 2) const;

@@ -23,8 +23,11 @@
 // inside the grid's logical extents.
 #pragma once
 
+#include <array>
+#include <bit>
 #include <cstdint>
 #include <cstring>
+#include <limits>
 
 #include "sfcvis/core/grid.hpp"
 #include "sfcvis/core/morton.hpp"
@@ -33,6 +36,33 @@ namespace sfcvis::core {
 
 /// Axis selector for row-oriented operations on 3D grids.
 enum class Axis3 : std::uint8_t { kX, kY, kZ };
+
+/// Contiguous-run statistics of gather_row calls: how long the memcpy-able
+/// index runs actually are per layout — the micro-level contiguity signal
+/// behind the paper's data-movement argument. Plain accumulator (no trace
+/// dependency; core stays leaf): callers merge it into the trace metrics
+/// registry (filters do, under "bilateral.gather_run_len").
+struct GatherRunStats {
+  static constexpr unsigned kBuckets = 16;
+  std::uint64_t runs = 0;
+  std::uint64_t elements = 0;
+  std::uint64_t min_run = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t max_run = 0;
+  std::array<std::uint64_t, kBuckets> len_log2{};  ///< [i]: runs in [2^i, 2^(i+1))
+
+  void note(std::uint64_t run) noexcept { note_runs(1, run); }
+
+  /// Records `count` runs of identical length `len` at once (the strided
+  /// paths produce exactly that shape without iterating).
+  void note_runs(std::uint64_t count, std::uint64_t len) noexcept {
+    runs += count;
+    elements += count * len;
+    min_run = len < min_run ? len : min_run;
+    max_run = len > max_run ? len : max_run;
+    const unsigned b = len == 0 ? 0 : static_cast<unsigned>(std::bit_width(len)) - 1;
+    len_log2[b < kBuckets ? b : kBuckets - 1] += count;
+  }
+};
 
 namespace detail {
 
@@ -54,7 +84,7 @@ inline void copy_run(const T* src, T* out, std::uint32_t run) {
 /// flushes every maximal contiguous index run with one copy.
 template <class T, class StepFn>
 void gather_morton_runs(const T* data, std::uint64_t m, std::uint32_t n, T* out,
-                        StepFn step) {
+                        StepFn step, GatherRunStats* rs) {
   std::uint32_t l = 0;
   while (l < n) {
     const std::uint64_t run_begin = m;
@@ -67,6 +97,9 @@ void gather_morton_runs(const T* data, std::uint64_t m, std::uint32_t n, T* out,
       ++run;
     }
     copy_run(data + run_begin, out + l, run);
+    if (rs != nullptr) {
+      rs->note(run);
+    }
     l += run;
   }
 }
@@ -74,9 +107,11 @@ void gather_morton_runs(const T* data, std::uint64_t m, std::uint32_t n, T* out,
 }  // namespace detail
 
 /// Generic gather: one layout.index() per element. Works for every layout.
+/// Run stats (optional trailing `rs` on every overload) account what is
+/// memcpy-able: this path exploits no contiguity, so n runs of 1.
 template <class T, Layout3D L>
 void gather_row(const Grid3D<T, L>& g, Axis3 axis, std::uint32_t i, std::uint32_t j,
-                std::uint32_t k, std::uint32_t n, T* out) {
+                std::uint32_t k, std::uint32_t n, T* out, GatherRunStats* rs = nullptr) {
   const L& layout = g.layout();
   const T* data = g.data();
   switch (axis) {
@@ -96,22 +131,32 @@ void gather_row(const Grid3D<T, L>& g, Axis3 axis, std::uint32_t i, std::uint32_
       }
       break;
   }
+  if (rs != nullptr && n > 0) {
+    rs->note_runs(n, 1);
+  }
 }
 
 /// Array-order gather: x rows are one memcpy, y/z rows one hoisted stride.
 template <class T>
 void gather_row(const Grid3D<T, ArrayOrderLayout>& g, Axis3 axis, std::uint32_t i,
-                std::uint32_t j, std::uint32_t k, std::uint32_t n, T* out) {
+                std::uint32_t j, std::uint32_t k, std::uint32_t n, T* out,
+                GatherRunStats* rs = nullptr) {
   const auto& e = g.extents();
   const T* base = g.data() + g.layout().index(i, j, k);
   if (axis == Axis3::kX) {
     std::memcpy(out, base, n * sizeof(T));
+    if (rs != nullptr && n > 0) {
+      rs->note(n);
+    }
     return;
   }
   const std::size_t stride =
       axis == Axis3::kY ? e.nx : static_cast<std::size_t>(e.nx) * e.ny;
   for (std::uint32_t l = 0; l < n; ++l) {
     out[l] = base[l * stride];
+  }
+  if (rs != nullptr && n > 0) {
+    rs->note_runs(n, 1);
   }
 }
 
@@ -120,7 +165,8 @@ void gather_row(const Grid3D<T, ArrayOrderLayout>& g, Axis3 axis, std::uint32_t 
 /// bit arithmetic; anisotropic curves step the per-axis deposit table.
 template <class T>
 void gather_row(const Grid3D<T, ZOrderLayout>& g, Axis3 axis, std::uint32_t i,
-                std::uint32_t j, std::uint32_t k, std::uint32_t n, T* out) {
+                std::uint32_t j, std::uint32_t k, std::uint32_t n, T* out,
+                GatherRunStats* rs = nullptr) {
   const ZOrderTables& tables = g.layout().tables();
   const T* data = g.data();
   const Extents3D& padded = tables.padded();
@@ -129,16 +175,16 @@ void gather_row(const Grid3D<T, ZOrderLayout>& g, Axis3 axis, std::uint32_t i,
     const std::uint64_t m = morton_encode_3d(i, j, k);
     switch (axis) {
       case Axis3::kX:
-        detail::gather_morton_runs(data, m, n, out,
-                                   [](std::uint64_t z) { return morton_inc_x(z); });
+        detail::gather_morton_runs(
+            data, m, n, out, [](std::uint64_t z) { return morton_inc_x(z); }, rs);
         return;
       case Axis3::kY:
-        detail::gather_morton_runs(data, m, n, out,
-                                   [](std::uint64_t z) { return morton_inc_y(z); });
+        detail::gather_morton_runs(
+            data, m, n, out, [](std::uint64_t z) { return morton_inc_y(z); }, rs);
         return;
       case Axis3::kZ:
-        detail::gather_morton_runs(data, m, n, out,
-                                   [](std::uint64_t z) { return morton_inc_z(z); });
+        detail::gather_morton_runs(
+            data, m, n, out, [](std::uint64_t z) { return morton_inc_z(z); }, rs);
         return;
     }
   }
@@ -155,6 +201,9 @@ void gather_row(const Grid3D<T, ZOrderLayout>& g, Axis3 axis, std::uint32_t i,
       ++run;
     }
     detail::copy_run(data + begin, out + l, run);
+    if (rs != nullptr) {
+      rs->note(run);
+    }
     l += run;
   }
 }

@@ -35,6 +35,7 @@
 #include "sfcvis/memsim/hierarchy.hpp"
 #include "sfcvis/threads/pool.hpp"
 #include "sfcvis/threads/schedulers.hpp"
+#include "sfcvis/trace/trace.hpp"
 
 namespace sfcvis::filters {
 
@@ -312,7 +313,33 @@ struct BilateralGatherScratch {
   PencilAxis axis = PencilAxis::kX;
   std::vector<float> ring;   ///< W planes of W*W samples, slot = s % W
   std::vector<float> wperm;  ///< spatial weights permuted to [dp][du][dv]
+  /// Contiguous-run accounting of the plane gathers, merged into the
+  /// trace metrics registry per pencil. Collected only when span tracing
+  /// was runtime-enabled at prepare() time, so untraced runs pay nothing.
+  bool collect_run_stats = false;
+  core::GatherRunStats run_stats;
 };
+
+namespace detail {
+
+/// Merges and resets one pencil's gather-run stats ("bilateral.gather_*"
+/// metrics: run-length histogram plus run/element counters).
+inline void fold_gather_run_stats(core::GatherRunStats& rs) {
+  if (rs.runs == 0) {
+    return;
+  }
+  auto& tracer = trace::Tracer::instance();
+  static const trace::HistogramId k_len = tracer.histogram_id("bilateral.gather_run_len");
+  static const trace::CounterId k_runs = tracer.counter_id("bilateral.gather_runs");
+  static const trace::CounterId k_elems = tracer.counter_id("bilateral.gather_elements");
+  tracer.merge_histogram(k_len, rs.len_log2.data(), core::GatherRunStats::kBuckets,
+                         rs.runs, rs.elements, rs.min_run, rs.max_run);
+  tracer.add(k_runs, rs.runs);
+  tracer.add(k_elems, rs.elements);
+  rs = core::GatherRunStats{};
+}
+
+}  // namespace detail
 
 /// Gather-based bilateral_pencil. Interior voxels of interior pencils take
 /// the ring-buffer fast path; border voxels (and whole pencils too short
@@ -364,18 +391,19 @@ void bilateral_pencil_gather(const core::Grid3D<float, L>& src,
 
   const std::uint32_t a0 = pc.a - r;
   const std::uint32_t b0 = pc.b - r;
+  core::GatherRunStats* rs = scratch.collect_run_stats ? &scratch.run_stats : nullptr;
   const auto gather_plane = [&](std::uint32_t s) {
     float* plane = scratch.ring.data() + (s % W) * plane_sz;
     for (std::uint32_t du = 0; du < W; ++du) {
       switch (params.pencil) {
         case PencilAxis::kX:  // plane spans (y, z): rows along z
-          core::gather_row(src, core::Axis3::kZ, s, a0 + du, b0, W, plane + du * W);
+          core::gather_row(src, core::Axis3::kZ, s, a0 + du, b0, W, plane + du * W, rs);
           break;
         case PencilAxis::kY:  // plane spans (z, x): rows along x
-          core::gather_row(src, core::Axis3::kX, a0, s, b0 + du, W, plane + du * W);
+          core::gather_row(src, core::Axis3::kX, a0, s, b0 + du, W, plane + du * W, rs);
           break;
         case PencilAxis::kZ:  // plane spans (y, x): rows along x
-          core::gather_row(src, core::Axis3::kX, a0, b0 + du, s, W, plane + du * W);
+          core::gather_row(src, core::Axis3::kX, a0, b0 + du, s, W, plane + du * W, rs);
           break;
       }
     }
@@ -432,6 +460,9 @@ void bilateral_pencil_gather(const core::Grid3D<float, L>& src,
     dst.at(v.i, v.j, v.k) = sum / norm;
   }
   clamped_run(len - r, len);
+  if (rs != nullptr) {
+    detail::fold_gather_run_stats(*rs);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -454,6 +485,8 @@ void bilateral_parallel(const core::Grid3D<float, L>& src,
                         const BilateralParams& params, threads::Pool& pool) {
   const BilateralWeights weights(params);
   const std::size_t pencils = pencil_count(src.extents(), params.pencil);
+  SFCVIS_TRACE_SPAN("bilateral.parallel", params.use_gather ? "gather" : "exact",
+                    pencils);
   if (params.use_gather) {
     threads::parallel_for_static_state(
         pool, pencils,
@@ -463,12 +496,14 @@ void bilateral_parallel(const core::Grid3D<float, L>& src,
           return scratch;
         },
         [&](BilateralGatherScratch& scratch, std::size_t pencil, unsigned) {
+          SFCVIS_TRACE_SPAN("bilateral.pencil", "gather", pencil);
           bilateral_pencil_gather(src, dst, weights, params, pencil, scratch);
         });
     return;
   }
   const core::PlainView<float, L> view(src);
   threads::parallel_for_static(pool, pencils, [&](std::size_t pencil, unsigned) {
+    SFCVIS_TRACE_SPAN("bilateral.pencil", "exact", pencil);
     bilateral_pencil(view, dst, weights, params, pencil);
   });
 }
@@ -533,7 +568,9 @@ void bilateral_zsweep(const core::Grid3D<float, L>& src,
   const std::size_t num_chunks = std::max<std::size_t>(
       1, pool.size() * chunks_per_thread * cap / std::max<std::size_t>(1, e.size()));
   const std::size_t chunk_len = (cap + num_chunks - 1) / num_chunks;
+  SFCVIS_TRACE_SPAN("bilateral.zsweep", nullptr, num_chunks);
   threads::parallel_for_static(pool, num_chunks, [&](std::size_t chunk, unsigned) {
+    SFCVIS_TRACE_SPAN("bilateral.zsweep.chunk", nullptr, chunk);
     const std::size_t begin = chunk * chunk_len;
     const std::size_t end = std::min(cap, begin + chunk_len);
     detail::zsweep_range(tables, e, cubic, std::min(begin, end), end,
@@ -564,6 +601,7 @@ void bilateral_zsweep_traced(const core::Grid3D<float, L>& src,
       1, hierarchy.num_threads() * chunks_per_thread * cap /
              std::max<std::size_t>(1, e.size()));
   const std::size_t chunk_len = (cap + num_chunks - 1) / num_chunks;
+  SFCVIS_TRACE_SPAN("bilateral.zsweep.traced", nullptr, num_chunks);
   const threads::StaticRoundRobin rr(num_chunks, hierarchy.num_threads());
   std::vector<memsim::ThreadSink> sinks;
   sinks.reserve(hierarchy.num_threads());
@@ -601,6 +639,7 @@ void bilateral_traced(const core::Grid3D<float, L>& src,
                       std::size_t max_items = SIZE_MAX) {
   const BilateralWeights weights(params.radius, params.sigma_spatial);
   const std::size_t pencils = pencil_count(src.extents(), params.pencil);
+  SFCVIS_TRACE_SPAN("bilateral.traced", nullptr, pencils);
   const threads::StaticRoundRobin rr(pencils, hierarchy.num_threads());
   std::vector<memsim::ThreadSink> sinks;
   sinks.reserve(hierarchy.num_threads());

@@ -39,6 +39,7 @@
 #include "sfcvis/render/vec.hpp"
 #include "sfcvis/threads/pool.hpp"
 #include "sfcvis/threads/schedulers.hpp"
+#include "sfcvis/trace/trace.hpp"
 
 namespace sfcvis::render {
 
@@ -212,6 +213,7 @@ template <core::Layout3D L>
 MacrocellGrid MacrocellGrid::build(const core::Grid3D<float, L>& volume, std::uint32_t block,
                                    threads::Pool* pool) {
   MacrocellGrid grid;
+  SFCVIS_TRACE_SPAN("macrocell.build", pool != nullptr ? "parallel" : "serial");
   grid.volume_ = volume.extents();
   grid.cells_ = macrocell_extents(grid.volume_, block);
   grid.block_ = block;

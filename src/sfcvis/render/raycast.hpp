@@ -23,7 +23,6 @@
 #pragma once
 
 #include <algorithm>
-#include <atomic>
 #include <cmath>
 #include <cstdint>
 #include <limits>
@@ -40,6 +39,7 @@
 #include "sfcvis/render/transfer.hpp"
 #include "sfcvis/threads/pool.hpp"
 #include "sfcvis/threads/schedulers.hpp"
+#include "sfcvis/trace/trace.hpp"
 
 namespace sfcvis::render {
 
@@ -70,7 +70,10 @@ struct RenderConfig {
 };
 
 /// Per-ray traversal statistics (skip-rate accounting; plain counters so
-/// the hot path stays atomic-free).
+/// the hot path stays atomic-free). The parallel drivers keep one of
+/// these per tile on the worker's stack and fold it into the trace
+/// metrics registry — per-thread accumulate, merge at snapshot time — so
+/// render-wide totals involve no shared mutable state at all.
 struct RayStats {
   std::uint64_t samples_taken = 0;    ///< samples evaluated (trilinear taps done)
   std::uint64_t samples_skipped = 0;  ///< samples proven irrelevant and skipped
@@ -85,29 +88,35 @@ struct RayStats {
   }
 };
 
-/// Render-wide skip statistics, accumulated tile-at-a-time by the parallel
-/// drivers (one atomic add per tile and field, not per ray).
-struct RenderStats {
-  std::atomic<std::uint64_t> samples_taken{0};
-  std::atomic<std::uint64_t> samples_skipped{0};
-  std::atomic<std::uint64_t> cells_visited{0};
-  std::atomic<std::uint64_t> cells_skipped{0};
+namespace detail {
 
-  void add(const RayStats& o) noexcept {
-    samples_taken.fetch_add(o.samples_taken, std::memory_order_relaxed);
-    samples_skipped.fetch_add(o.samples_skipped, std::memory_order_relaxed);
-    cells_visited.fetch_add(o.cells_visited, std::memory_order_relaxed);
-    cells_skipped.fetch_add(o.cells_skipped, std::memory_order_relaxed);
-  }
+/// Folds `tiles` tiles' worth of stats into the calling thread's metric
+/// slots under the "raycast.*" names. The ids are resolved once per
+/// process.
+inline void fold_ray_stats(const RayStats& s, std::uint64_t tiles = 1) {
+  auto& tracer = trace::Tracer::instance();
+  static const trace::CounterId k_taken = tracer.counter_id("raycast.samples_taken");
+  static const trace::CounterId k_skipped = tracer.counter_id("raycast.samples_skipped");
+  static const trace::CounterId k_visited = tracer.counter_id("raycast.cells_visited");
+  static const trace::CounterId k_cells = tracer.counter_id("raycast.cells_skipped");
+  static const trace::CounterId k_tiles = tracer.counter_id("raycast.tiles");
+  tracer.add(k_taken, s.samples_taken);
+  tracer.add(k_skipped, s.samples_skipped);
+  tracer.add(k_visited, s.cells_visited);
+  tracer.add(k_cells, s.cells_skipped);
+  tracer.add(k_tiles, tiles);
+}
 
-  /// Fraction of potential samples that the macrocell traversal skipped.
-  [[nodiscard]] double skip_rate() const noexcept {
-    const double taken = static_cast<double>(samples_taken.load());
-    const double skipped = static_cast<double>(samples_skipped.load());
-    const double total = taken + skipped;
-    return total > 0.0 ? skipped / total : 0.0;
-  }
-};
+}  // namespace detail
+
+/// Fraction of potential samples the macrocell traversal skipped, read
+/// from a metrics snapshot taken after a collect_stats render.
+[[nodiscard]] inline double skip_rate(const trace::MetricsSnapshot& metrics) noexcept {
+  const auto taken = static_cast<double>(metrics.total("raycast.samples_taken"));
+  const auto skipped = static_cast<double>(metrics.total("raycast.samples_skipped"));
+  const double total = taken + skipped;
+  return total > 0.0 ? skipped / total : 0.0;
+}
 
 /// Slab-method ray/axis-aligned-box intersection; returns the [t_enter,
 /// t_exit] parameter interval clipped to t >= 0, or nullopt on a miss.
@@ -345,22 +354,17 @@ template <core::ReadView3D View>
   return out;
 }
 
-/// Renders one image tile; per-ray stats accumulate locally and flush to
-/// `stats` once per tile.
+/// Renders one image tile, accumulating per-ray stats into `stats` (a
+/// tile-local struct on the caller's stack — never shared across threads).
 template <core::ReadView3D View>
 void render_tile(const View& view, const Camera& camera, const TransferFunction& tf,
                  const RenderConfig& config, Image& image, const Tile& tile,
-                 const MacrocellGrid* cells = nullptr, RenderStats* stats = nullptr) {
-  RayStats tile_stats;
-  RayStats* ray_stats = stats != nullptr ? &tile_stats : nullptr;
+                 const MacrocellGrid* cells = nullptr, RayStats* stats = nullptr) {
   for (std::uint32_t y = tile.y0; y < tile.y1; ++y) {
     for (std::uint32_t x = tile.x0; x < tile.x1; ++x) {
       const Ray ray = camera.ray_for_pixel(x, y, image.width(), image.height());
-      image.at(x, y) = trace_ray(view, ray, tf, config, cells, ray_stats);
+      image.at(x, y) = trace_ray(view, ray, tf, config, cells, stats);
     }
-  }
-  if (stats != nullptr) {
-    stats->add(tile_stats);
   }
 }
 
@@ -370,14 +374,15 @@ void render_tile(const View& view, const Camera& camera, const TransferFunction&
 /// When config.use_macrocells is set the render takes the empty-space-
 /// skipping path: a caller-provided `cells` grid is used as-is (build once
 /// outside a timing loop with MacrocellGrid::build), otherwise one is
-/// built here on the same pool. `stats`, when non-null, receives the
-/// skip-rate accounting.
+/// built here on the same pool. With `collect_stats` each worker folds
+/// its tile-local RayStats into the metrics registry ("raycast.*"
+/// counters; read them via Tracer::metrics_snapshot / render::skip_rate).
 template <core::Layout3D L>
 [[nodiscard]] Image raycast_parallel(const core::Grid3D<float, L>& volume,
                                      const Camera& camera, const TransferFunction& tf,
                                      const RenderConfig& config, threads::Pool& pool,
                                      const MacrocellGrid* cells = nullptr,
-                                     RenderStats* stats = nullptr) {
+                                     bool collect_stats = false) {
   Image image(config.image_width, config.image_height);
   const core::PlainView<float, L> view(volume);
   MacrocellGrid local_cells;
@@ -390,8 +395,16 @@ template <core::Layout3D L>
     use_cells = cells;
   }
   const TileDecomposition tiles(config.image_width, config.image_height, config.tile_size);
+  SFCVIS_TRACE_SPAN("raycast.parallel", use_cells != nullptr ? "macrocell" : "dense",
+                    tiles.count());
   threads::parallel_for_dynamic(pool, tiles.count(), [&](std::size_t t, unsigned) {
-    render_tile(view, camera, tf, config, image, tiles.bounds(t), use_cells, stats);
+    SFCVIS_TRACE_SPAN("raycast.tile", nullptr, t);
+    RayStats tile_stats;
+    render_tile(view, camera, tf, config, image, tiles.bounds(t), use_cells,
+                collect_stats ? &tile_stats : nullptr);
+    if (collect_stats) {
+      detail::fold_ray_stats(tile_stats);
+    }
   });
   return image;
 }
@@ -412,7 +425,7 @@ template <core::Layout3D L>
                                    const RenderConfig& config, memsim::Hierarchy& hierarchy,
                                    std::size_t max_items = SIZE_MAX,
                                    const MacrocellGrid* cells = nullptr,
-                                   RenderStats* stats = nullptr) {
+                                   bool collect_stats = false) {
   Image image(config.image_width, config.image_height);
   MacrocellGrid local_cells;
   const MacrocellGrid* use_cells = nullptr;
@@ -424,6 +437,8 @@ template <core::Layout3D L>
     use_cells = cells;
   }
   const TileDecomposition tiles(config.image_width, config.image_height, config.tile_size);
+  SFCVIS_TRACE_SPAN("raycast.traced", use_cells != nullptr ? "macrocell" : "dense",
+                    tiles.count());
   const threads::StaticRoundRobin rr(tiles.count(), hierarchy.num_threads());
   std::vector<memsim::ThreadSink> sinks;
   sinks.reserve(hierarchy.num_threads());
@@ -431,13 +446,22 @@ template <core::Layout3D L>
     sinks.push_back(hierarchy.sink(t));
   }
   std::size_t done = 0;
+  std::uint64_t rendered = 0;
+  RayStats run_stats;
   for (const auto& assignment : rr.replay_order()) {
     if (done++ >= max_items) {
       break;
     }
     const core::TracedView<float, L, memsim::ThreadSink> view(volume, sinks[assignment.tid]);
+    RayStats tile_stats;
     render_tile(view, camera, tf, config, image, tiles.bounds(assignment.item), use_cells,
-                stats);
+                collect_stats ? &tile_stats : nullptr);
+    run_stats.add(tile_stats);
+    ++rendered;
+  }
+  if (collect_stats) {
+    // Replay is single-threaded: all logical threads fold on this one.
+    detail::fold_ray_stats(run_stats, rendered);
   }
   return image;
 }

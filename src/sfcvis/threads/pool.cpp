@@ -4,6 +4,8 @@
 #include <atomic>
 #include <stdexcept>
 
+#include "sfcvis/trace/trace.hpp"
+
 #if defined(__linux__)
 #include <pthread.h>
 #include <sched.h>
@@ -68,6 +70,9 @@ void Pool::run(const std::function<void(unsigned)>& job) {
 }
 
 void Pool::worker_main(unsigned tid) {
+  // Attribute this thread's trace spans and metric values to worker
+  // `tid` (plain thread-local store, no registration or allocation).
+  trace::set_worker_id(tid);
   std::uint64_t seen_generation = 0;
   while (true) {
     const std::function<void(unsigned)>* job = nullptr;

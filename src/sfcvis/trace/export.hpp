@@ -1,0 +1,48 @@
+// Exporters for trace + metrics snapshots.
+//
+// Two formats, two audiences:
+//  * chrome_trace_json — Chrome trace-event JSON ("X" duration events
+//    with ph/ts/dur/pid/tid/name), loadable in Perfetto or
+//    chrome://tracing for a visual timeline; per-span hardware counter
+//    deltas ride along in each event's "args".
+//  * run_report_json — the machine-readable run report consumed by
+//    tools/trace_summary.py and tools/bench_gate.py: per-phase span
+//    aggregates with per-thread breakdown and load imbalance, the merged
+//    metrics registry, and any bench result tables. This replaces the
+//    bespoke per-bench stats printers as the diffable artifact of a run.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sfcvis/trace/metrics.hpp"
+#include "sfcvis/trace/trace.hpp"
+
+namespace sfcvis::trace {
+
+/// A bench result table carried verbatim into the run report (the JSON
+/// twin of bench_util::ResultTable, kept dependency-free on purpose).
+struct ReportTable {
+  std::string name;   ///< machine key, e.g. the CSV basename "abl_empty_skiprate"
+  std::string title;  ///< human title as printed by the bench
+  std::vector<std::string> rows;
+  std::vector<std::string> cols;
+  std::vector<std::vector<double>> cells;  ///< [row][col]
+};
+
+/// Chrome trace-event JSON (Perfetto-loadable). Spans become "X" events;
+/// threads are named via "M" metadata events ("worker N" or "thread N").
+[[nodiscard]] std::string chrome_trace_json(const TraceSnapshot& snap);
+
+/// The run report: versioned JSON with hw-counter provenance, per-phase
+/// aggregates (phase = span name + tag), per-thread values, the metrics
+/// registry, and `tables`.
+[[nodiscard]] std::string run_report_json(const TraceSnapshot& snap,
+                                          const MetricsSnapshot& metrics,
+                                          const std::vector<ReportTable>& tables = {});
+
+/// Writes `contents` to `path`; false (with intact errno) on failure.
+bool write_text_file(const std::string& path, std::string_view contents);
+
+}  // namespace sfcvis::trace

@@ -1,0 +1,128 @@
+// Minimal streaming JSON writer for the trace exporters. Deliberately
+// tiny (no DOM, no parsing): the repo ships no JSON dependency and the
+// exporters only ever append. Correctness cared about: string escaping,
+// comma placement, non-finite doubles become null.
+#pragma once
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sfcvis::trace {
+
+class JsonWriter {
+ public:
+  void begin_object() { open('{'); }
+  void end_object() { close('}'); }
+  void begin_array() { open('['); }
+  void end_array() { close(']'); }
+
+  /// Object key; follow with exactly one value or container.
+  void key(std::string_view k) {
+    comma();
+    quote(k);
+    out_ += ':';
+    pending_key_ = true;
+  }
+
+  void value(std::string_view v) {
+    comma();
+    quote(v);
+  }
+  void value(const char* v) { value(std::string_view(v)); }
+  void value(bool v) {
+    comma();
+    out_ += v ? "true" : "false";
+  }
+  void value(std::uint64_t v) {
+    comma();
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+    out_ += buf;
+  }
+  void value(int v) { value(static_cast<std::uint64_t>(v < 0 ? 0 : v)); }
+  void null() {
+    comma();
+    out_ += "null";
+  }
+  /// `decimals` fixed digits (timestamps want ns resolution at µs scale).
+  void value(double v, int decimals = 6) {
+    comma();
+    if (!std::isfinite(v)) {
+      out_ += "null";
+      return;
+    }
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    out_ += buf;
+  }
+
+  [[nodiscard]] std::string take() { return std::move(out_); }
+
+ private:
+  void open(char c) {
+    comma();
+    out_ += c;
+    first_in_.push_back(true);
+  }
+  void close(char c) {
+    out_ += c;
+    first_in_.pop_back();
+  }
+  /// Emits the separating comma unless this is a key's value or the
+  /// container's first entry.
+  void comma() {
+    if (pending_key_) {
+      pending_key_ = false;
+      return;
+    }
+    if (!first_in_.empty()) {
+      if (!first_in_.back()) {
+        out_ += ',';
+      }
+      first_in_.back() = false;
+    }
+  }
+  void quote(std::string_view s) {
+    out_ += '"';
+    for (const char ch : s) {
+      const auto u = static_cast<unsigned char>(ch);
+      switch (ch) {
+        case '"':
+          out_ += "\\\"";
+          break;
+        case '\\':
+          out_ += "\\\\";
+          break;
+        case '\n':
+          out_ += "\\n";
+          break;
+        case '\r':
+          out_ += "\\r";
+          break;
+        case '\t':
+          out_ += "\\t";
+          break;
+        default:
+          if (u < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", u);
+            out_ += buf;
+          } else {
+            out_ += ch;
+          }
+      }
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  std::vector<bool> first_in_;
+  bool pending_key_ = false;
+};
+
+}  // namespace sfcvis::trace

@@ -1,6 +1,7 @@
 // Tests for stats / tables / options, plus perfmon probing.
 #include <gtest/gtest.h>
 
+#include <cerrno>
 #include <filesystem>
 #include <fstream>
 #include <thread>
@@ -158,6 +159,46 @@ TEST(Perfmon, ProbeDoesNotCrashAndIsConsistent) {
   EXPECT_EQ(avail, perfmon::PerfCounter::available());
   auto counter = perfmon::PerfCounter::open(perfmon::Event::kCacheReferences);
   EXPECT_EQ(avail, counter.has_value());
+}
+
+TEST(Perfmon, DescribeOpenErrorIsActionable) {
+  // Permission refusals name the sysctl the user must inspect; the other
+  // common errnos get non-empty explanations too.
+  for (const int err : {EACCES, EPERM}) {
+    const std::string msg = perfmon::describe_open_error(err);
+    EXPECT_NE(msg.find("perf_event_paranoid"), std::string::npos) << msg;
+  }
+  for (const int err : {ENOENT, ENOSYS, ENODEV, EINVAL}) {
+    EXPECT_FALSE(perfmon::describe_open_error(err).empty()) << err;
+  }
+}
+
+TEST(Perfmon, OpenReportsWhyItFailed) {
+  // The fallback decision is never silent: exactly one of {counter,
+  // recorded failure} exists, and the probe's reason agrees.
+  perfmon::OpenFailure failure;
+  const auto counter = perfmon::PerfCounter::open(perfmon::Event::kCacheReferences,
+                                                  &failure);
+  EXPECT_NE(counter.has_value(), failure.failed());
+  if (failure.failed()) {
+    EXPECT_NE(failure.error, 0);
+    EXPECT_FALSE(failure.message.empty());
+    EXPECT_FALSE(perfmon::PerfCounter::unavailable_reason().empty());
+  } else {
+    EXPECT_TRUE(perfmon::PerfCounter::unavailable_reason().empty());
+  }
+}
+
+TEST(Perfmon, GroupOpenFailureIsReported) {
+  perfmon::OpenFailure failure;
+  auto group = perfmon::PerfGroup::open(&failure);
+  EXPECT_NE(group.has_value(), failure.failed());
+  if (group) {
+    perfmon::GroupReading reading;
+    EXPECT_TRUE(group->read_now(reading));
+  } else {
+    EXPECT_FALSE(failure.message.empty());
+  }
 }
 
 TEST(Perfmon, CountsWorkWhenAvailable) {

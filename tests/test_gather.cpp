@@ -218,8 +218,12 @@ TEST(GatherMortonRuns, CopiesContiguousRunsExactly) {
   for (std::uint32_t x0 : {0u, 1u, 2u, 3u}) {
     std::vector<float> out(7, -1.0f);
     const std::uint64_t m = core::morton_encode_3d(x0, 3, 5);
-    core::detail::gather_morton_runs(data.data(), m, 7, out.data(),
-                                     [](std::uint64_t z) { return core::morton_inc_x(z); });
+    core::GatherRunStats rs;
+    core::detail::gather_morton_runs(
+        data.data(), m, 7, out.data(),
+        [](std::uint64_t z) { return core::morton_inc_x(z); }, &rs);
+    EXPECT_EQ(rs.elements, 7u);
+    EXPECT_GE(rs.max_run, 2u);  // even x0 pairs elements two by two
     for (std::uint32_t l = 0; l < 7; ++l) {
       EXPECT_EQ(out[l], static_cast<float>(core::morton_encode_3d(x0 + l, 3, 5)));
     }

@@ -24,6 +24,7 @@ namespace data = sfcvis::data;
 namespace memsim = sfcvis::memsim;
 namespace render = sfcvis::render;
 namespace threads = sfcvis::threads;
+namespace trace = sfcvis::trace;
 
 using core::ArrayOrderLayout;
 using core::Extents3D;
@@ -34,7 +35,6 @@ using render::Image;
 using render::MacrocellGrid;
 using render::RenderConfig;
 using render::RenderMode;
-using render::RenderStats;
 using render::TransferFunction;
 using render::ValueRange;
 
@@ -341,14 +341,16 @@ void expect_accelerated_render_identical(RenderMode mode, bool shade) {
 
   config.use_macrocells = true;
   config.macrocell_size = 8;
-  RenderStats stats;
-  const Image accel =
-      render::raycast_parallel(volume, camera, tf, config, pool, nullptr, &stats);
+  trace::Tracer::instance().reset_metrics();
+  const Image accel = render::raycast_parallel(volume, camera, tf, config, pool, nullptr,
+                                               /*collect_stats=*/true);
+  const trace::MetricsSnapshot metrics = trace::Tracer::instance().metrics_snapshot();
 
   EXPECT_EQ(count_mismatches(dense, accel), 0u);
-  EXPECT_GT(stats.cells_visited.load(), 0u);
-  EXPECT_GT(stats.samples_skipped.load(), 0u);  // flame TF leaves most space empty
-  EXPECT_GT(stats.skip_rate(), 0.0);
+  EXPECT_GT(metrics.total("raycast.cells_visited"), 0u);
+  // flame TF leaves most space empty
+  EXPECT_GT(metrics.total("raycast.samples_skipped"), 0u);
+  EXPECT_GT(render::skip_rate(metrics), 0.0);
 }
 
 }  // namespace
@@ -444,12 +446,13 @@ TEST(MacrocellRender, TracedSkippingReducesAccessesImageIdentical) {
   config.use_macrocells = true;
   config.macrocell_size = 8;
   memsim::Hierarchy accel_h(memsim::tiny_test_platform(), 2);
-  RenderStats stats;
-  const Image accel =
-      render::raycast_traced(volume, camera, tf, config, accel_h, SIZE_MAX, nullptr, &stats);
+  trace::Tracer::instance().reset_metrics();
+  const Image accel = render::raycast_traced(volume, camera, tf, config, accel_h, SIZE_MAX,
+                                             nullptr, /*collect_stats=*/true);
+  const trace::MetricsSnapshot metrics = trace::Tracer::instance().metrics_snapshot();
 
   EXPECT_EQ(count_mismatches(dense, accel), 0u);
-  EXPECT_GT(stats.samples_skipped.load(), 0u);
+  EXPECT_GT(metrics.total("raycast.samples_skipped"), 0u);
   // Skipped samples issue no volume reads, so the modeled hierarchy sees a
   // strictly smaller access stream.
   EXPECT_LT(accel_h.total_accesses(), dense_h.total_accesses());

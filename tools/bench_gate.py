@@ -11,10 +11,17 @@ threshold (default 15%) in the bad direction fails the gate.
 Wall-clock tables are collected and reported too, but never gate: CI
 machines are too noisy for sub-2x timing comparisons to mean anything.
 
+Tables are collected from each bench's CSV output by default; with
+--from-report they are read from the machine-readable run-report JSON
+instead (the bench runs with --report-out=, see bench/common.hpp and
+src/sfcvis/trace/export.hpp). Both sources carry the same cells, so the
+two modes gate identically against the same baseline.
+
 Usage:
   tools/bench_gate.py [--build-dir=build] [--threshold=0.15]
                       [--baseline=bench/BENCH_baseline.json]
                       [--out-dir=<build-dir>] [--update-baseline]
+                      [--from-report]
 
 Exit codes: 0 gate passed (or baseline updated), 1 regression detected,
 2 usage / environment error.
@@ -81,18 +88,36 @@ def git_sha(repo_root):
         return "unknown"
 
 
-def run_benches(build_dir):
-    """Runs every bench with --csv-dir into a temp dir; returns tables."""
+def read_report_tables(path):
+    """Reads run-report JSON tables, keyed like their CSV twins."""
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if "sfcvis_run_report" not in doc:
+        print(f"error: {path} is not a run report", file=sys.stderr)
+        sys.exit(2)
+    return {
+        t["name"] + ".csv": {"cols": t["cols"], "rows": t["rows"],
+                             "cells": t["cells"]}
+        for t in doc.get("tables", [])
+    }
+
+
+def run_benches(build_dir, from_report=False):
+    """Runs every bench, collecting its tables via CSV or run report."""
     tables = {}
     directions = {}
-    with tempfile.TemporaryDirectory(prefix="bench_gate_") as csv_dir:
+    with tempfile.TemporaryDirectory(prefix="bench_gate_") as work_dir:
         for bench in BENCHES:
             binary = os.path.join(build_dir, "bench", bench["binary"])
             if not os.path.exists(binary):
                 print(f"error: bench binary not found: {binary}", file=sys.stderr)
                 print("       (build with -DSFCVIS_BUILD_BENCH=ON)", file=sys.stderr)
                 sys.exit(2)
-            cmd = [binary, *bench["args"], f"--csv-dir={csv_dir}"]
+            if from_report:
+                report = os.path.join(work_dir, bench["binary"] + "_report.json")
+                cmd = [binary, *bench["args"], f"--report-out={report}"]
+            else:
+                cmd = [binary, *bench["args"], f"--csv-dir={work_dir}"]
             print(f"[bench_gate] running {' '.join(cmd)}")
             proc = subprocess.run(cmd, capture_output=True, text=True)
             if proc.returncode != 0:
@@ -101,13 +126,21 @@ def run_benches(build_dir):
                 print(f"error: {bench['binary']} exited {proc.returncode}",
                       file=sys.stderr)
                 sys.exit(2)
+            found = read_report_tables(report) if from_report else None
             for name, direction in bench["tables"].items():
-                path = os.path.join(csv_dir, name)
-                if not os.path.exists(path):
-                    print(f"error: {bench['binary']} did not write {name}",
-                          file=sys.stderr)
-                    sys.exit(2)
-                tables[name] = read_csv_table(path)
+                if from_report:
+                    if name not in found:
+                        print(f"error: {bench['binary']} run report lacks "
+                              f"table {name}", file=sys.stderr)
+                        sys.exit(2)
+                    tables[name] = found[name]
+                else:
+                    path = os.path.join(work_dir, name)
+                    if not os.path.exists(path):
+                        print(f"error: {bench['binary']} did not write {name}",
+                              file=sys.stderr)
+                        sys.exit(2)
+                    tables[name] = read_csv_table(path)
                 directions[name] = direction
     return tables, directions
 
@@ -162,6 +195,9 @@ def main():
                         help="where BENCH_<sha>.json is written (default build dir)")
     parser.add_argument("--update-baseline", action="store_true",
                         help="rewrite the baseline from this run and exit 0")
+    parser.add_argument("--from-report", action="store_true",
+                        help="collect tables from run-report JSON "
+                             "(--report-out) instead of CSV files")
     args = parser.parse_args()
 
     repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
@@ -169,7 +205,7 @@ def main():
                                                   "BENCH_baseline.json")
     out_dir = args.out_dir or args.build_dir
 
-    tables, directions = run_benches(args.build_dir)
+    tables, directions = run_benches(args.build_dir, args.from_report)
     sha = git_sha(repo_root)
     snapshot = {
         "sha": sha,

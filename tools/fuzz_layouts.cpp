@@ -23,8 +23,11 @@
 #include <string>
 #include <vector>
 
+#include "sfcvis/trace/export.hpp"
+#include "sfcvis/trace/trace.hpp"
 #include "sfcvis/verify/fuzz.hpp"
 
+namespace trace = sfcvis::trace;
 namespace verify = sfcvis::verify;
 
 namespace {
@@ -82,7 +85,12 @@ int main(int argc, char** argv) {
   const verify::FuzzOptions fuzz_opts{.quick = opt.quick};
   std::uint64_t total_checks = 0;
   std::uint64_t failed_checks = 0;
-  std::vector<std::string> repro_lines;
+  struct Repro {
+    std::uint64_t seed;
+    bool metamorphic;
+    std::string line;
+  };
+  std::vector<Repro> repros;
   std::uint64_t printed = 0;
   constexpr std::uint64_t kMaxPrintedFailures = 20;
 
@@ -108,7 +116,8 @@ int main(int argc, char** argv) {
       }
       line += "\n  " + failure.to_string();
     }
-    repro_lines.push_back(std::move(line));
+    repros.push_back(Repro{summary.seed, std::strcmp(kind, "metamorphic") == 0,
+                           std::move(line)});
   };
 
   for (std::uint64_t s = 0; s < opt.seeds; ++s) {
@@ -119,14 +128,33 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (!repro_lines.empty() && !opt.out.empty()) {
+  if (!repros.empty() && !opt.out.empty()) {
     std::ofstream out(opt.out);
     out << "# fuzz_layouts failing seeds (" << (opt.quick ? "--quick" : "--full")
         << "); re-run one with --start-seed=<seed> --seeds=1\n";
-    for (const auto& line : repro_lines) {
-      out << line << "\n";
+    for (const auto& repro : repros) {
+      out << repro.line << "\n";
     }
-    std::fprintf(stderr, "wrote %zu failing repro(s) to %s\n", repro_lines.size(),
+    // Re-run the first few failing seeds with span tracing live and embed
+    // each run report, so the repro file carries the failing case's phase
+    // timings and metrics (which kernels ran, per-thread split) without
+    // needing a second traced reproduction by hand.
+    constexpr std::size_t kMaxTracedRepros = 3;
+    auto& tracer = trace::Tracer::instance();
+    for (std::size_t n = 0; n < repros.size() && n < kMaxTracedRepros; ++n) {
+      const Repro& repro = repros[n];
+      tracer.enable();
+      (void)(repro.metamorphic ? verify::run_metamorphic_case(repro.seed, fuzz_opts)
+                               : verify::run_fuzz_case(repro.seed, fuzz_opts));
+      const trace::TraceSnapshot snap = tracer.snapshot();
+      const trace::MetricsSnapshot metrics = tracer.metrics_snapshot();
+      tracer.disable();
+      out << "# --- run report: seed " << repro.seed
+          << (repro.metamorphic ? " (metamorphic)" : " (fuzz)")
+          << ", one JSON document per line ---\n";
+      out << trace::run_report_json(snap, metrics) << "\n";
+    }
+    std::fprintf(stderr, "wrote %zu failing repro(s) to %s\n", repros.size(),
                  opt.out.c_str());
   }
 

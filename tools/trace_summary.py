@@ -1,0 +1,227 @@
+#!/usr/bin/env python3
+"""Summarize (or validate) sfcvis trace artifacts.
+
+Takes the JSON files written by a traced run (bench binaries with
+--trace-out=/--report-out=, see bench/common.hpp) and either prints a
+human-readable breakdown or — with --validate — checks structural
+invariants and exits nonzero on the first violation, which is how CI's
+trace-smoke job and the unit tests consume it.
+
+File kinds are auto-detected:
+  * run report    — top-level key "sfcvis_run_report" (run_report_json).
+    Summary: per-phase table (count, total, mean, max, load imbalance,
+    cache misses when hardware counters were live), per-thread span/drop
+    counts, metrics registry totals, histogram shapes.
+  * Chrome trace  — top-level key "traceEvents" (chrome_trace_json,
+    loadable in Perfetto). Summary: event counts per name; validation
+    checks every duration event carries the Perfetto-required keys.
+
+Usage:
+  tools/trace_summary.py report.json [trace.json ...]
+  tools/trace_summary.py --validate report.json trace.json
+
+Exit codes: 0 OK, 1 validation failure, 2 usage / unreadable input.
+"""
+
+import argparse
+import json
+import sys
+
+# Keys Perfetto's trace-event importer needs on every duration event.
+DURATION_EVENT_KEYS = ("ph", "ts", "pid", "tid", "name")
+
+RUN_REPORT_REQUIRED = (
+    "sfcvis_run_report",
+    "span_tracing",
+    "dropped_spans",
+    "hw_counters",
+    "threads",
+    "phases",
+    "metrics",
+    "histograms",
+    "tables",
+)
+
+
+class ValidationError(Exception):
+    pass
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def detect_kind(doc):
+    if isinstance(doc, dict) and "sfcvis_run_report" in doc:
+        return "report"
+    if isinstance(doc, dict) and "traceEvents" in doc:
+        return "trace"
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Validation
+# ---------------------------------------------------------------------------
+
+def validate_trace(doc, path):
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValidationError(f"{path}: traceEvents is not a list")
+    if not events:
+        raise ValidationError(f"{path}: traceEvents is empty")
+    for n, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            raise ValidationError(f"{path}: traceEvents[{n}] is not an object")
+        if ev.get("ph") == "M":
+            continue  # metadata events carry name/pid/tid but no ts by contract
+        for key in DURATION_EVENT_KEYS:
+            if key not in ev:
+                raise ValidationError(
+                    f"{path}: traceEvents[{n}] ({ev.get('name', '?')}) "
+                    f"missing required key '{key}'")
+        if ev["ph"] == "X" and "dur" not in ev:
+            raise ValidationError(
+                f"{path}: traceEvents[{n}] is a complete event without 'dur'")
+    if not any(ev.get("ph") == "X" for ev in events):
+        raise ValidationError(f"{path}: no duration ('X') events recorded")
+
+
+def validate_report(doc, path):
+    for key in RUN_REPORT_REQUIRED:
+        if key not in doc:
+            raise ValidationError(f"{path}: missing required key '{key}'")
+    hw = doc["hw_counters"]
+    if not isinstance(hw, dict) or "available" not in hw or "source" not in hw:
+        raise ValidationError(f"{path}: hw_counters must carry available + source")
+    if hw["available"] and doc.get("run_totals") is None:
+        raise ValidationError(
+            f"{path}: hw counters reported available but run_totals is null")
+    for phase in doc["phases"]:
+        for key in ("name", "count", "total_ms", "mean_us", "max_us", "per_thread"):
+            if key not in phase:
+                raise ValidationError(
+                    f"{path}: phase {phase.get('name', '?')} missing '{key}'")
+        if phase["count"] <= 0:
+            raise ValidationError(
+                f"{path}: phase {phase['name']} has non-positive count")
+    for table in doc["tables"]:
+        rows, cols = len(table.get("rows", [])), len(table.get("cols", []))
+        cells = table.get("cells", [])
+        if len(cells) != rows or any(len(r) != cols for r in cells):
+            raise ValidationError(
+                f"{path}: table {table.get('name', '?')} cells do not match "
+                f"its row/col labels ({rows}x{cols})")
+
+
+# ---------------------------------------------------------------------------
+# Summaries
+# ---------------------------------------------------------------------------
+
+def fmt_count(v):
+    return f"{v:,}"
+
+
+def phase_label(phase):
+    tag = phase.get("tag")
+    return f"{phase['name']} [{tag}]" if tag else phase["name"]
+
+
+def summarize_report(doc, path):
+    hw = doc["hw_counters"]
+    print(f"== run report: {path} ==")
+    print(f"span tracing: {'on' if doc['span_tracing'] else 'off'}  |  "
+          f"counters: {hw['source']}  |  dropped spans: {doc['dropped_spans']}")
+
+    if doc["phases"]:
+        have_hw = any(p.get("counters") for p in doc["phases"])
+        head = (f"{'phase':<34} {'count':>8} {'total ms':>10} {'mean us':>10} "
+                f"{'max us':>10} {'imbal':>6}")
+        if have_hw:
+            head += f" {'cache miss':>12}"
+        print("\n" + head)
+        for phase in doc["phases"]:
+            line = (f"{phase_label(phase):<34} {fmt_count(phase['count']):>8} "
+                    f"{phase['total_ms']:>10.3f} {phase['mean_us']:>10.1f} "
+                    f"{phase['max_us']:>10.1f} {phase.get('imbalance', 0.0):>6.2f}")
+            if have_hw:
+                misses = (phase.get("counters") or {}).get("cache_misses")
+                line += f" {fmt_count(misses):>12}" if misses is not None else \
+                    f" {'-':>12}"
+            print(line)
+
+    threads = doc["threads"]
+    if threads:
+        print(f"\nthreads ({len(threads)}):")
+        for t in threads:
+            who = f"worker {t['worker']}" if t.get("worker") is not None else \
+                f"thread {t['tid']}"
+            drop = f", dropped {fmt_count(t['dropped'])}" if t["dropped"] else ""
+            print(f"  {who:<12} {fmt_count(t['spans'])} spans{drop}")
+
+    if doc["metrics"]:
+        print("\nmetrics:")
+        for m in doc["metrics"]:
+            imbal = m.get("imbalance", 0.0)
+            print(f"  {m['name']:<34} total {fmt_count(m['total']):>14}  "
+                  f"imbal {imbal:.2f}")
+    if doc["histograms"]:
+        print("\nhistograms (log2 buckets):")
+        for h in doc["histograms"]:
+            print(f"  {h['name']:<34} n={fmt_count(h['count'])} "
+                  f"mean={h['mean']:.2f} min={h['min']} max={h['max']}")
+    if doc["tables"]:
+        names = ", ".join(t["name"] for t in doc["tables"])
+        print(f"\ntables: {names}")
+    print()
+
+
+def summarize_trace(doc, path):
+    events = doc.get("traceEvents", [])
+    spans = [ev for ev in events if ev.get("ph") == "X"]
+    print(f"== chrome trace: {path} ==")
+    print(f"{len(events)} events, {len(spans)} spans")
+    by_name = {}
+    for ev in spans:
+        agg = by_name.setdefault(ev["name"], [0, 0.0])
+        agg[0] += 1
+        agg[1] += ev.get("dur", 0.0)
+    for name in sorted(by_name, key=lambda n: -by_name[n][1]):
+        count, dur = by_name[name]
+        print(f"  {name:<34} {fmt_count(count):>10} spans {dur / 1e3:>10.3f} ms")
+    print()
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="+", help="run report / trace JSON files")
+    parser.add_argument("--validate", action="store_true",
+                        help="check structure instead of printing a summary")
+    args = parser.parse_args()
+
+    failures = 0
+    for path in args.files:
+        doc = load(path)
+        kind = detect_kind(doc)
+        if kind is None:
+            print(f"error: {path}: neither a run report nor a Chrome trace",
+                  file=sys.stderr)
+            sys.exit(2)
+        if args.validate:
+            try:
+                (validate_report if kind == "report" else validate_trace)(doc, path)
+                print(f"[trace_summary] OK: {path} ({kind})")
+            except ValidationError as e:
+                print(f"[trace_summary] FAIL: {e}", file=sys.stderr)
+                failures += 1
+        else:
+            (summarize_report if kind == "report" else summarize_trace)(doc, path)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
