@@ -37,7 +37,7 @@ int main(int argc, char** argv) {
   const bench::VolumePair pair = bench::make_combustion_pair(size);
   const auto tf = render::TransferFunction::flame();
   const auto fsize = static_cast<float>(size);
-  threads::Pool pool(nthreads);
+  exec::ExecutionContext pool(nthreads);
 
   std::vector<std::string> view_cols;
   view_cols.reserve(views.size());

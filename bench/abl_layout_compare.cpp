@@ -24,14 +24,13 @@ struct Metrics {
   double escapes = 0;
 };
 
-template <core::Layout3D L>
-Metrics measure_bilateral(const core::Grid3D<float, L>& volume,
+Metrics measure_bilateral(const core::AnyVolume& volume,
                           const memsim::PlatformSpec& platform, unsigned nthreads,
                           std::size_t trace_items, unsigned reps) {
   const filters::BilateralParams params{3, 1.5f, 0.1f, filters::PencilAxis::kZ,
                                         filters::LoopOrder::kZYX};
-  core::Grid3D<float, core::ArrayOrderLayout> dst(volume.extents());
-  threads::Pool pool(nthreads);
+  core::ArrayVolume dst(volume.extents());
+  exec::ExecutionContext pool(nthreads);
   Metrics m;
   m.native_seconds = bench_util::min_time_of(
       reps, [&] { filters::bilateral_parallel(volume, dst, params, pool); });
@@ -42,14 +41,13 @@ Metrics measure_bilateral(const core::Grid3D<float, L>& volume,
   return m;
 }
 
-template <core::Layout3D L>
-Metrics measure_volrend(const core::Grid3D<float, L>& volume,
+Metrics measure_volrend(const core::AnyVolume& volume,
                         const memsim::PlatformSpec& platform, unsigned nthreads,
                         std::uint32_t image, std::uint32_t trace_image, unsigned reps) {
   const auto tf = render::TransferFunction::flame();
   const auto fsize = static_cast<float>(volume.extents().nx);
   const auto camera = render::orbit_camera(2, 8, fsize, fsize, fsize);
-  threads::Pool pool(nthreads);
+  exec::ExecutionContext pool(nthreads);
   Metrics m;
   const render::RenderConfig native_config{image, image, 32, 0.5f, 0.98f};
   m.native_seconds = bench_util::min_time_of(reps, [&] {
@@ -102,11 +100,11 @@ int main(int argc, char** argv) {
                                 size, platform);
 
   const core::Extents3D e = core::Extents3D::cube(size);
-  core::Grid3D<float, core::ArrayOrderLayout> mri_a(e);
-  data::fill_mri_phantom(mri_a);
-  const auto mri_z = core::convert_layout<core::ZOrderLayout>(mri_a);
-  const auto mri_t = core::convert_layout<core::TiledLayout>(mri_a);
-  const auto mri_h = core::convert_layout<core::HilbertLayout>(mri_a);
+  core::AnyVolume mri_a = core::make_volume(core::LayoutKind::kArray, e);
+  mri_a.visit([](auto& g) { data::fill_mri_phantom(g); });
+  const auto mri_z = mri_a.convert_to(core::LayoutKind::kZOrder);
+  const auto mri_t = mri_a.convert_to(core::LayoutKind::kTiled);
+  const auto mri_h = mri_a.convert_to(core::LayoutKind::kHilbert);
 
   emit("bilateral r3 pz zyx",
        {{"array", measure_bilateral(mri_a, platform, nthreads, trace_items, reps)},
@@ -115,11 +113,11 @@ int main(int argc, char** argv) {
         {"hilbert", measure_bilateral(mri_h, platform, nthreads, trace_items, reps)}},
        opts, "abl_layout_bilateral.csv");
 
-  core::Grid3D<float, core::ArrayOrderLayout> comb_a(e);
-  data::fill_combustion(comb_a);
-  const auto comb_z = core::convert_layout<core::ZOrderLayout>(comb_a);
-  const auto comb_t = core::convert_layout<core::TiledLayout>(comb_a);
-  const auto comb_h = core::convert_layout<core::HilbertLayout>(comb_a);
+  core::AnyVolume comb_a = core::make_volume(core::LayoutKind::kArray, e);
+  comb_a.visit([](auto& g) { data::fill_combustion(g); });
+  const auto comb_z = comb_a.convert_to(core::LayoutKind::kZOrder);
+  const auto comb_t = comb_a.convert_to(core::LayoutKind::kTiled);
+  const auto comb_h = comb_a.convert_to(core::LayoutKind::kHilbert);
 
   emit("volrend viewpoint 2",
        {{"array", measure_volrend(comb_a, platform, nthreads, image, trace_image, reps)},

@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
                         platform);
 
   const bench::VolumePair pair = bench::make_mri_pair(size);
-  core::Grid3D<float, core::ArrayOrderLayout> dst(core::Extents3D::cube(size));
+  core::ArrayVolume dst(core::Extents3D::cube(size));
 
   const filters::PencilAxis axes[] = {filters::PencilAxis::kX, filters::PencilAxis::kY,
                                       filters::PencilAxis::kZ};

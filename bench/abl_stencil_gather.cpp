@@ -15,7 +15,6 @@
 
 #include "common.hpp"
 #include "sfcvis/filters/bilateral.hpp"
-#include "sfcvis/threads/pool.hpp"
 
 namespace {
 
@@ -25,8 +24,7 @@ long peak_rss_kb() {
   return usage.ru_maxrss;
 }
 
-float max_abs_diff(const sfcvis::core::Grid3D<float, sfcvis::core::ArrayOrderLayout>& a,
-                   const sfcvis::core::Grid3D<float, sfcvis::core::ArrayOrderLayout>& b) {
+float max_abs_diff(const sfcvis::core::ArrayVolume& a, const sfcvis::core::ArrayVolume& b) {
   float worst = 0.0f;
   for (std::size_t n = 0; n < a.size(); ++n) {
     const float d = std::abs(a.data()[n] - b.data()[n]);
@@ -66,13 +64,13 @@ int main(int argc, char** argv) {
                         platform);
   std::printf("threads: %u  reps (min-of): %u\n\n", nthreads, reps);
 
-  threads::Pool pool(nthreads);
+  exec::ExecutionContext pool(nthreads);
   int failures = 0;
 
   for (const std::uint32_t size : sizes) {
     const bench::VolumePair pair = bench::make_mri_pair(size);
-    core::Grid3D<float, core::ArrayOrderLayout> dst_legacy(core::Extents3D::cube(size));
-    core::Grid3D<float, core::ArrayOrderLayout> dst_gather(core::Extents3D::cube(size));
+    core::ArrayVolume dst_legacy(core::Extents3D::cube(size));
+    core::ArrayVolume dst_gather(core::Extents3D::cube(size));
 
     std::vector<std::string> rows;
     rows.reserve(radii.size());

@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
   const auto tf = render::TransferFunction::flame();
   const auto fsize = static_cast<float>(size);
   const auto camera = render::orbit_camera(2, 8, fsize, fsize, fsize);
-  threads::Pool pool(nthreads);
+  exec::ExecutionContext pool(nthreads);
 
   std::vector<std::string> cols;
   for (const auto t : tile_sizes) {

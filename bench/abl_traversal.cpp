@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
   bench::print_preamble("Ablation G: traversal order x layout (bilateral)", size, platform);
 
   const bench::VolumePair pair = bench::make_mri_pair(size);
-  core::Grid3D<float, core::ArrayOrderLayout> dst(core::Extents3D::cube(size));
+  core::ArrayVolume dst(core::Extents3D::cube(size));
 
   // Traced escape counts per (traversal, layout) cell.
   auto pencil_escapes = [&](const auto& volume, filters::PencilAxis axis,

@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
   for (std::size_t c = 0; c < sizes.size(); ++c) {
     const std::uint32_t size = sizes[c];
     const bench::VolumePair pair = bench::make_mri_pair(size);
-    core::Grid3D<float, core::ArrayOrderLayout> dst(core::Extents3D::cube(size));
+    core::ArrayVolume dst(core::Extents3D::cube(size));
     const filters::BilateralParams params{radius, 1.5f, 0.1f, filters::PencilAxis::kZ,
                                           filters::LoopOrder::kZYX};
     // Full traces at small sizes; capped at larger ones for bounded cost.

@@ -19,7 +19,7 @@
 
 #include "common.hpp"
 #include "sfcvis/filters/bilateral.hpp"
-#include "sfcvis/threads/pool.hpp"
+#include "sfcvis/exec/execution_context.hpp"
 
 namespace sfcvis::bench {
 
@@ -83,11 +83,11 @@ inline int run_bilateral_figure(const BilateralFigure& figure, int argc,
                                      col_labels);
 
   const VolumePair pair = make_mri_pair(size);
-  core::Grid3D<float, core::ArrayOrderLayout> dst(core::Extents3D::cube(size));
+  core::ArrayVolume dst(core::Extents3D::cube(size));
 
   for (std::size_t col = 0; col < thread_counts.size(); ++col) {
     const unsigned nthreads = thread_counts[col];
-    threads::Pool pool(nthreads);
+    exec::ExecutionContext pool(nthreads);
     const unsigned tpc =
         (figure.cores != 0 && nthreads % figure.cores == 0) ? nthreads / figure.cores : 1;
     for (std::size_t row = 0; row < rows.size(); ++row) {

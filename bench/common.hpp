@@ -30,8 +30,10 @@
 #include "sfcvis/bench_util/table.hpp"
 #include "sfcvis/core/grid.hpp"
 #include "sfcvis/core/layout.hpp"
+#include "sfcvis/core/volume.hpp"
 #include "sfcvis/data/combustion.hpp"
 #include "sfcvis/data/phantom.hpp"
+#include "sfcvis/exec/trace_session.hpp"
 #include "sfcvis/memsim/platforms.hpp"
 #include "sfcvis/perfmon/perf_events.hpp"
 #include "sfcvis/trace/export.hpp"
@@ -41,104 +43,31 @@ namespace sfcvis::bench {
 
 /// Scoped tracing for one bench run: construct after parsing options,
 /// and span recording is on for the binary's lifetime whenever --trace,
-/// --trace-out or --report-out was given. The destructor snapshots the
-/// tracer and writes the requested export files; tables passed through
-/// emit_table while a session is active ride along in the run report.
-/// A no-op when none of the tracing options are present.
-class TraceSession {
+/// --trace-out or --report-out was given. All mechanics live in
+/// exec::TraceSession; this subclass only adds the command-line plumbing.
+/// Tables passed through emit_table while a session is active ride along
+/// in the run report. A no-op when none of the tracing options are present.
+class TraceSession : public exec::TraceSession {
  public:
   explicit TraceSession(const bench_util::Options& opts)
-      : trace_out_(opts.get_string("trace-out", "")),
-        report_out_(opts.get_string("report-out", "")),
-        active_(opts.get_flag("trace") || !trace_out_.empty() || !report_out_.empty()) {
-    if (active_) {
-      current() = this;
-      trace::Tracer::instance().enable();
-    }
-  }
-  TraceSession(const TraceSession&) = delete;
-  TraceSession& operator=(const TraceSession&) = delete;
-  ~TraceSession() { finish(); }
-
-  [[nodiscard]] bool active() const noexcept { return active_; }
-
-  /// Records a bench table for the run report (emit_table calls this).
-  void add_table(const bench_util::ResultTable& table, const std::string& csv_name) {
-    trace::ReportTable rt;
-    rt.name = std::filesystem::path(csv_name).stem().string();
-    rt.title = table.title();
-    rt.rows = table.row_labels();
-    rt.cols = table.col_labels();
-    rt.cells.resize(table.rows());
-    for (std::size_t r = 0; r < table.rows(); ++r) {
-      rt.cells[r].resize(table.cols());
-      for (std::size_t c = 0; c < table.cols(); ++c) {
-        rt.cells[r][c] = table.at(r, c);
-      }
-    }
-    tables_.push_back(std::move(rt));
-  }
-
-  /// Stops tracing and writes the export files once (also run by the
-  /// destructor; calling early lets a bench flush before its exit path).
-  void finish() {
-    if (!active_) {
-      return;
-    }
-    active_ = false;
-    if (current() == this) {
-      current() = nullptr;
-    }
-    auto& tracer = trace::Tracer::instance();
-    // Snapshot before disabling so the report records that spans were live.
-    // Quiescent here: the bench's parallel regions have all joined.
-    const trace::TraceSnapshot snap = tracer.snapshot();
-    const trace::MetricsSnapshot metrics = tracer.metrics_snapshot();
-    tracer.disable();
-    if (!trace_out_.empty()) {
-      if (trace::write_text_file(trace_out_, trace::chrome_trace_json(snap))) {
-        std::printf("[trace] %s (%llu spans, %s)\n", trace_out_.c_str(),
-                    static_cast<unsigned long long>(snap.total_spans()),
-                    snap.counter_source.c_str());
-      } else {
-        std::fprintf(stderr, "[trace] failed to write %s\n", trace_out_.c_str());
-      }
-    }
-    if (!report_out_.empty()) {
-      if (trace::write_text_file(report_out_,
-                                 trace::run_report_json(snap, metrics, tables_))) {
-        std::printf("[trace] %s (%zu tables)\n", report_out_.c_str(), tables_.size());
-      } else {
-        std::fprintf(stderr, "[trace] failed to write %s\n", report_out_.c_str());
-      }
-    }
-  }
-
-  /// The active session, if any (set for the lifetime of a tracing run).
-  static TraceSession*& current() noexcept {
-    static TraceSession* session = nullptr;
-    return session;
-  }
-
- private:
-  std::string trace_out_;
-  std::string report_out_;
-  bool active_ = false;
-  std::vector<trace::ReportTable> tables_;
+      : exec::TraceSession(opts.get_string("trace-out", ""),
+                           opts.get_string("report-out", ""), opts.get_flag("trace")) {}
 };
 
-/// A pair of identical-content volumes in the two layouts under study.
+/// A pair of identical-content volumes in the two layouts under study,
+/// behind the runtime facade.
 struct VolumePair {
-  core::Grid3D<float, core::ArrayOrderLayout> array;
-  core::Grid3D<float, core::ZOrderLayout> z;
+  core::AnyVolume array;
+  core::AnyVolume z;
 };
 
 /// MRI-phantom pair (bilateral-filter input; stands in for the paper's
 /// UC Davis MRI dataset).
 inline VolumePair make_mri_pair(std::uint32_t size) {
-  VolumePair pair{core::Grid3D<float, core::ArrayOrderLayout>(core::Extents3D::cube(size)),
-                  core::Grid3D<float, core::ZOrderLayout>(core::Extents3D::cube(size))};
-  data::fill_mri_phantom(pair.array);
+  const core::Extents3D e = core::Extents3D::cube(size);
+  VolumePair pair{core::make_volume(core::LayoutKind::kArray, e),
+                  core::make_volume(core::LayoutKind::kZOrder, e)};
+  pair.array.visit([](auto& grid) { data::fill_mri_phantom(grid); });
   pair.z.copy_from(pair.array);
   return pair;
 }
@@ -146,9 +75,10 @@ inline VolumePair make_mri_pair(std::uint32_t size) {
 /// Combustion-field pair (raycaster input; stands in for the paper's
 /// combustion-simulation dataset).
 inline VolumePair make_combustion_pair(std::uint32_t size) {
-  VolumePair pair{core::Grid3D<float, core::ArrayOrderLayout>(core::Extents3D::cube(size)),
-                  core::Grid3D<float, core::ZOrderLayout>(core::Extents3D::cube(size))};
-  data::fill_combustion(pair.array);
+  const core::Extents3D e = core::Extents3D::cube(size);
+  VolumePair pair{core::make_volume(core::LayoutKind::kArray, e),
+                  core::make_volume(core::LayoutKind::kZOrder, e)};
+  pair.array.visit([](auto& grid) { data::fill_combustion(grid); });
   pair.z.copy_from(pair.array);
   return pair;
 }
@@ -164,8 +94,20 @@ inline void emit_table(const bench_util::ResultTable& table,
     table.write_csv(std::filesystem::path(dir) / csv_name);
     std::printf("  [csv] %s/%s\n\n", dir.c_str(), csv_name.c_str());
   }
-  if (TraceSession* session = TraceSession::current()) {
-    session->add_table(table, csv_name);
+  if (exec::TraceSession* session = exec::TraceSession::current()) {
+    trace::ReportTable rt;
+    rt.name = std::filesystem::path(csv_name).stem().string();
+    rt.title = table.title();
+    rt.rows = table.row_labels();
+    rt.cols = table.col_labels();
+    rt.cells.resize(table.rows());
+    for (std::size_t r = 0; r < table.rows(); ++r) {
+      rt.cells[r].resize(table.cols());
+      for (std::size_t c = 0; c < table.cols(); ++c) {
+        rt.cells[r][c] = table.at(r, c);
+      }
+    }
+    session->add_table(std::move(rt));
   }
 }
 

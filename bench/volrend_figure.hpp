@@ -13,7 +13,7 @@
 
 #include "common.hpp"
 #include "sfcvis/render/raycast.hpp"
-#include "sfcvis/threads/pool.hpp"
+#include "sfcvis/exec/execution_context.hpp"
 
 namespace sfcvis::bench {
 
@@ -74,7 +74,7 @@ inline int run_volrend_ds_figure(const VolrendFigure& figure, int argc,
 
   for (std::size_t col = 0; col < thread_counts.size(); ++col) {
     const unsigned nthreads = thread_counts[col];
-    threads::Pool pool(nthreads);
+    exec::ExecutionContext pool(nthreads);
     const unsigned tpc =
         (figure.cores != 0 && nthreads % figure.cores == 0) ? nthreads / figure.cores : 1;
     for (unsigned v = 0; v < figure.num_viewpoints; ++v) {
@@ -148,7 +148,7 @@ inline int run_volrend_absolute_figure(const VolrendFigure& figure, int argc,
   const render::RenderConfig native_config{image, image, 32, 0.5f, 0.98f};
   const render::RenderConfig trace_config{trace_image, trace_image, trace_tile, 0.5f, 0.98f};
   const auto fsize = static_cast<float>(size);
-  threads::Pool pool(nthreads);
+  exec::ExecutionContext pool(nthreads);
 
   for (unsigned v = 0; v < figure.num_viewpoints; ++v) {
     const auto camera = render::orbit_camera(v, figure.num_viewpoints, fsize, fsize, fsize);

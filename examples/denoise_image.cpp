@@ -53,7 +53,7 @@ int main(int argc, char** argv) {
 
   // Same filter on array-order vs Z-order storage of the same pixels.
   const auto image_z = core::convert_layout2d<core::ZOrderLayout2D>(image);
-  threads::Pool pool(nthreads);
+  exec::ExecutionContext pool(nthreads);
   const filters::Bilateral2DParams params{radius, 2.0f, sigma_range,
                                           filters::PencilAxis::kX};
   const double t_a = bench_util::min_time_of(

@@ -13,6 +13,8 @@
 #include "sfcvis/bench_util/stats.hpp"
 #include "sfcvis/data/phantom.hpp"
 #include "sfcvis/data/volume_io.hpp"
+#include "sfcvis/core/volume.hpp"
+#include "sfcvis/exec/execution_context.hpp"
 #include "sfcvis/filters/bilateral.hpp"
 #include "sfcvis/render/image.hpp"
 
@@ -20,8 +22,7 @@ namespace {
 
 using namespace sfcvis;
 
-double rmse(const core::Grid3D<float, core::ArrayOrderLayout>& a,
-            const core::Grid3D<float, core::ArrayOrderLayout>& b) {
+double rmse(const core::ArrayVolume& a, const core::ArrayVolume& b) {
   double sum = 0;
   a.for_each_index([&](std::uint32_t i, std::uint32_t j, std::uint32_t k) {
     const double d = a.at(i, j, k) - b.at(i, j, k);
@@ -31,8 +32,7 @@ double rmse(const core::Grid3D<float, core::ArrayOrderLayout>& a,
 }
 
 /// Writes the central z-slice as a grayscale PPM for quick inspection.
-void write_slice(const std::filesystem::path& path,
-                 const core::Grid3D<float, core::ArrayOrderLayout>& g) {
+void write_slice(const std::filesystem::path& path, const core::ArrayVolume& g) {
   const auto& e = g.extents();
   render::Image img(e.nx, e.ny);
   for (std::uint32_t j = 0; j < e.ny; ++j) {
@@ -56,18 +56,20 @@ int main(int argc, char** argv) {
 
   const core::Extents3D e = core::Extents3D::cube(size);
   std::printf("generating %u^3 phantom (clean + noisy)...\n", size);
-  core::Grid3D<float, core::ArrayOrderLayout> clean(e), noisy(e), denoised(e);
+  core::ArrayVolume clean(e), noisy(e), denoised(e);
   data::fill_mri_phantom(clean, {.seed = 11, .texture_amplitude = 0.0f, .noise_sigma = 0.0f});
   data::fill_mri_phantom(noisy,
                          {.seed = 11, .texture_amplitude = 0.01f, .noise_sigma = 0.12f});
 
   const filters::BilateralParams params{radius, 1.5f, sigma_range};
-  threads::Pool pool(nthreads);
+  exec::ExecutionContext pool(nthreads);
 
   // Same filter, two source layouts — the paper's transparency property.
-  const auto noisy_z = core::convert_layout<core::ZOrderLayout>(noisy);
+  // The facade carries the layout at runtime; the driver call is identical.
+  const core::AnyVolume noisy_any(noisy);
+  const auto noisy_z = noisy_any.convert_to(core::LayoutKind::kZOrder);
   const double t_array = bench_util::min_time_of(
-      2, [&] { filters::bilateral_parallel(noisy, denoised, params, pool); });
+      2, [&] { filters::bilateral_parallel(noisy_any, denoised, params, pool); });
   const double t_z = bench_util::min_time_of(
       2, [&] { filters::bilateral_parallel(noisy_z, denoised, params, pool); });
 

@@ -11,6 +11,7 @@
 
 #include "sfcvis/bench_util/options.hpp"
 #include "sfcvis/core/layout.hpp"
+#include "sfcvis/core/volume.hpp"
 
 namespace {
 
@@ -62,28 +63,38 @@ int main(int argc, char** argv) {
   const std::uint32_t n = opts.get_u32("n", 8);
   const core::Extents3D e = core::Extents3D::cube(n);
 
-  print_slice(core::ArrayOrderLayout(e), n);
-  print_slice(core::ZOrderLayout(e), n);
-  print_slice(core::TiledLayout(e, std::min(n, 4u)), n);
-  print_slice(core::HilbertLayout(e), n);
+  // Every layout is reached through the facade: make_volume is the single
+  // dispatch point, and visit() hands the concrete layout back to the
+  // templated printers.
+  const auto for_layout = [](core::LayoutKind kind, const core::Extents3D& ext,
+                             std::uint32_t tile, auto&& fn) {
+    core::VolumeOpts vopts;
+    vopts.tile = tile;
+    core::make_volume(kind, ext, vopts).visit([&](const auto& g) { fn(g.layout()); });
+  };
+
+  for (const auto kind : core::kAllLayoutKinds) {
+    for_layout(kind, e, std::min(n, 4u), [&](const auto& l) { print_slice(l, n); });
+  }
 
   std::printf("fraction of unit steps crossing a 64-byte line boundary (32^3):\n");
   const core::Extents3D big = core::Extents3D::cube(32);
-  print_crossings(core::ArrayOrderLayout(big), 32);
-  print_crossings(core::ZOrderLayout(big), 32);
-  print_crossings(core::TiledLayout(big, 4), 32);
-  print_crossings(core::HilbertLayout(big), 32);
+  for (const auto kind : core::kAllLayoutKinds) {
+    for_layout(kind, big, 4, [&](const auto& l) { print_crossings(l, 32); });
+  }
 
   std::printf("\npadding behaviour for awkward extents (20 x 7 x 5):\n");
   const core::Extents3D odd{20, 7, 5};
+  const auto capacity_of = [&](core::LayoutKind kind) {
+    return core::make_volume(kind, odd).capacity();
+  };
   std::printf("  logical size: %zu elements\n", odd.size());
-  std::printf("  array-order capacity: %zu\n",
-              core::ArrayOrderLayout(odd).required_capacity());
+  std::printf("  array-order capacity: %zu\n", capacity_of(core::LayoutKind::kArray));
   std::printf("  z-order capacity:     %zu (pads each axis to a power of two;\n"
               "                        the paper's Sec. V limitation)\n",
-              core::ZOrderLayout(odd).required_capacity());
-  std::printf("  tiled 8^3 capacity:   %zu\n", core::TiledLayout(odd).required_capacity());
+              capacity_of(core::LayoutKind::kZOrder));
+  std::printf("  tiled 8^3 capacity:   %zu\n", capacity_of(core::LayoutKind::kTiled));
   std::printf("  hilbert capacity:     %zu (pads to the enclosing cube)\n",
-              core::HilbertLayout(odd).required_capacity());
+              capacity_of(core::LayoutKind::kHilbert));
   return 0;
 }

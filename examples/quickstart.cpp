@@ -1,6 +1,6 @@
 // Quickstart: the sfcvis public API in ~80 lines.
 //
-//   1. build a Z-order grid and fill it,
+//   1. build a Z-order volume through the runtime facade and fill it,
 //   2. use the paper-style runtime Indexer (getIndex) directly,
 //   3. run the bilateral filter and the raycaster on it,
 //   4. collect memory-system counters with the cache simulator.
@@ -8,9 +8,10 @@
 // Build & run:  ./build/examples/quickstart
 #include <cstdio>
 
-#include "sfcvis/core/grid.hpp"
 #include "sfcvis/core/indexer.hpp"
+#include "sfcvis/core/volume.hpp"
 #include "sfcvis/data/combustion.hpp"
+#include "sfcvis/exec/execution_context.hpp"
 #include "sfcvis/filters/bilateral.hpp"
 #include "sfcvis/memsim/platforms.hpp"
 #include "sfcvis/render/raycast.hpp"
@@ -19,12 +20,13 @@ int main() {
   using namespace sfcvis;
 
   // -- 1. A 64^3 volume stored along the Z-order space-filling curve. ------
+  // make_volume is the one place the layout is chosen; everything below is
+  // layout-agnostic and dispatches at runtime through core::AnyVolume.
   const core::Extents3D extents = core::Extents3D::cube(64);
-  core::Grid3D<float, core::ZOrderLayout> volume(extents);
-  data::fill_combustion(volume);  // synthetic turbulent-combustion field
+  core::AnyVolume volume = core::make_volume(core::LayoutKind::kZOrder, extents);
+  volume.visit([](auto& grid) { data::fill_combustion(grid); });
   std::printf("volume: %ux%ux%u, layout=%s, capacity=%zu elements\n", extents.nx,
-              extents.ny, extents.nz, std::string(core::ZOrderLayout::name()).c_str(),
-              volume.capacity());
+              extents.ny, extents.nz, volume.layout_name(), volume.capacity());
 
   // -- 2. The paper's runtime indexing facade (Sec. III-C). ----------------
   // Both orders cost three table loads + two adds; only the layout differs.
@@ -34,11 +36,13 @@ int main() {
               a_idx.getIndex(3, 5, 7), z_idx.getIndex(3, 5, 7));
 
   // -- 3a. Bilateral filter (structured access). ---------------------------
-  core::Grid3D<float, core::ArrayOrderLayout> denoised(extents);
-  threads::Pool pool(4);
+  // The ExecutionContext owns the thread count, backend (pthread pool or
+  // OpenMP via SFCVIS_BACKEND=openmp), and scheduling for every kernel.
+  core::ArrayVolume denoised(extents);
+  exec::ExecutionContext ctx(4);
   const filters::BilateralParams params{/*radius=*/2, /*sigma_spatial=*/1.5f,
                                         /*sigma_range=*/0.1f};
-  filters::bilateral_parallel(volume, denoised, params, pool);
+  filters::bilateral_parallel(volume, denoised, params, ctx);
   std::printf("bilateral filter: done (radius %u, %zu voxels)\n", params.radius,
               extents.size());
 
@@ -46,7 +50,7 @@ int main() {
   const auto camera = render::orbit_camera(/*viewpoint=*/2, /*of=*/8, 64, 64, 64);
   const auto tf = render::TransferFunction::flame();
   const render::RenderConfig config{256, 256, 32, 0.5f, 0.98f};
-  const render::Image image = render::raycast_parallel(volume, camera, tf, config, pool);
+  const render::Image image = render::raycast_parallel(volume, camera, tf, config, ctx);
   render::write_ppm("quickstart.ppm", image);
   std::printf("renderer: wrote quickstart.ppm (%ux%u)\n", image.width(), image.height());
 

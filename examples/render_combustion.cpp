@@ -18,6 +18,7 @@
 #include "sfcvis/bench_util/options.hpp"
 #include "sfcvis/bench_util/stats.hpp"
 #include "sfcvis/data/combustion.hpp"
+#include "sfcvis/core/volume.hpp"
 #include "sfcvis/render/macrocell.hpp"
 #include "sfcvis/render/raycast.hpp"
 
@@ -32,13 +33,13 @@ int main(int argc, char** argv) {
 
   std::printf("generating %u^3 combustion field...\n", size);
   const core::Extents3D e = core::Extents3D::cube(size);
-  core::Grid3D<float, core::ArrayOrderLayout> vol_a(e);
-  data::fill_combustion(vol_a);
-  const auto vol_z = core::convert_layout<core::ZOrderLayout>(vol_a);
+  core::AnyVolume vol_a = core::make_volume(core::LayoutKind::kArray, e);
+  vol_a.visit([](auto& g) { data::fill_combustion(g); });
+  const auto vol_z = vol_a.convert_to(core::LayoutKind::kZOrder);
 
   const auto tf = render::TransferFunction::flame();
   render::RenderConfig config{image_size, image_size, 32, 0.5f, 0.98f};
-  threads::Pool pool(nthreads);
+  exec::ExecutionContext pool(nthreads);
   const auto fsize = static_cast<float>(size);
 
   render::MacrocellGrid cells_a, cells_z;

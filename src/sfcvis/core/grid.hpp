@@ -34,6 +34,12 @@ class Grid3D {
   explicit Grid3D(LayoutT layout)
       : layout_(std::move(layout)), data_(layout_.required_capacity()) {}
 
+  /// Allocates with an explicit placement policy (huge pages, first-touch
+  /// initialization). What was actually applied is in alloc_report().
+  Grid3D(LayoutT layout, const MemoryPolicy& policy, const FirstTouchFn& first_touch = {})
+      : layout_(std::move(layout)),
+        data_(layout_.required_capacity(), policy, first_touch) {}
+
   /// Convenience: construct the layout from extents.
   explicit Grid3D(const Extents3D& e) : Grid3D(LayoutT(e)) {}
 
@@ -75,6 +81,9 @@ class Grid3D {
   [[nodiscard]] T* data() noexcept { return data_.data(); }
   [[nodiscard]] const T* data() const noexcept { return data_.data(); }
 
+  /// What the allocation actually did (huge-page / first-touch outcome).
+  [[nodiscard]] const AllocReport& alloc_report() const noexcept { return data_.report(); }
+
   /// Invokes fn(i, j, k) for every logical element in array-order
   /// (x fastest). Iteration order is independent of the storage layout.
   template <class Fn>
@@ -109,7 +118,7 @@ class Grid3D {
 
  private:
   LayoutT layout_{};
-  std::vector<T, AlignedAllocator<T, kCacheLineBytes>> data_;
+  AlignedBuffer<T> data_;
 };
 
 /// Builds a grid of `DstLayoutT` holding the same logical contents as `src`.

@@ -1,0 +1,67 @@
+#include "sfcvis/core/volume.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace sfcvis::core {
+
+const char* to_string(LayoutKind kind) noexcept {
+  // Kept in sync with each Layout::name(); static_asserts below pin them.
+  switch (kind) {
+    case LayoutKind::kArray:
+      return "array-order";
+    case LayoutKind::kZOrder:
+      return "z-order";
+    case LayoutKind::kTiled:
+      return "tiled";
+    case LayoutKind::kHilbert:
+      return "hilbert";
+  }
+  return "?";
+}
+
+static_assert(ArrayOrderLayout::name() == std::string_view{"array-order"});
+static_assert(ZOrderLayout::name() == std::string_view{"z-order"});
+static_assert(TiledLayout::name() == std::string_view{"tiled"});
+static_assert(HilbertLayout::name() == std::string_view{"hilbert"});
+
+LayoutKind parse_layout_kind(std::string_view name) {
+  if (name == "array-order" || name == "array" || name == "a-order") {
+    return LayoutKind::kArray;
+  }
+  if (name == "z-order" || name == "zorder" || name == "morton") {
+    return LayoutKind::kZOrder;
+  }
+  if (name == "tiled") {
+    return LayoutKind::kTiled;
+  }
+  if (name == "hilbert") {
+    return LayoutKind::kHilbert;
+  }
+  throw std::invalid_argument("unknown layout kind: " + std::string(name));
+}
+
+AnyVolume make_volume(LayoutKind kind, const Extents3D& extents, const VolumeOpts& opts) {
+  switch (kind) {
+    case LayoutKind::kArray:
+      return AnyVolume(
+          ArrayVolume(ArrayOrderLayout(extents), opts.memory, opts.first_touch));
+    case LayoutKind::kZOrder:
+      return AnyVolume(ZOrderVolume(ZOrderLayout(extents), opts.memory, opts.first_touch));
+    case LayoutKind::kTiled:
+      return AnyVolume(
+          TiledVolume(TiledLayout(extents, opts.tile), opts.memory, opts.first_touch));
+    case LayoutKind::kHilbert:
+      return AnyVolume(
+          HilbertVolume(HilbertLayout(extents), opts.memory, opts.first_touch));
+  }
+  throw std::invalid_argument("unknown LayoutKind");
+}
+
+AnyVolume AnyVolume::convert_to(LayoutKind kind, const VolumeOpts& opts) const {
+  AnyVolume dst = make_volume(kind, extents(), opts);
+  dst.copy_from(*this);
+  return dst;
+}
+
+}  // namespace sfcvis::core

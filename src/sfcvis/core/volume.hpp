@@ -1,0 +1,151 @@
+// Runtime volume facade: one value type over the four float Grid3D layout
+// instantiations.
+//
+// The paper's Sec. III-C requirement is that swapping the memory layout be
+// transparent to the application. The Layout3D templates deliver that at
+// compile time; AnyVolume extends it to runtime so drivers, benches, and
+// tools can pick a layout from a flag without spelling the 4-way template
+// cross-product. make_volume() (volume.cpp) is the ONLY place in the
+// library where the per-layout Grid3D instantiations are written out —
+// a CI grep gate (tools/check_layout_gate.sh) keeps it that way.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <variant>
+
+#include "sfcvis/core/grid.hpp"
+#include "sfcvis/core/layout.hpp"
+
+namespace sfcvis::core {
+
+/// The four storage layouts under study, as a runtime tag.
+enum class LayoutKind : std::uint8_t {
+  kArray = 0,  ///< row-major array order (the baseline)
+  kZOrder,     ///< Morton / Z-order curve (the paper's layout)
+  kTiled,      ///< pow2-block tiling (the classic bricking alternative)
+  kHilbert,    ///< Hilbert curve (related-work SFC variant)
+};
+
+inline constexpr LayoutKind kAllLayoutKinds[] = {LayoutKind::kArray, LayoutKind::kZOrder,
+                                                 LayoutKind::kTiled, LayoutKind::kHilbert};
+
+/// Stable lowercase name ("array-order", "z-order", "tiled", "hilbert") —
+/// matches the static Layout3D::name() strings.
+[[nodiscard]] const char* to_string(LayoutKind kind) noexcept;
+
+/// Inverse of to_string (also accepts "array" and "zorder" shorthands).
+/// Throws std::invalid_argument for unknown names.
+[[nodiscard]] LayoutKind parse_layout_kind(std::string_view name);
+
+/// Named aliases for the four concrete volumes. Kernel drivers spell their
+/// array-order outputs with ArrayVolume; the per-layout spellings
+/// themselves stay confined to core/ (enforced by the CI grep gate).
+using ArrayVolume = Grid3D<float, ArrayOrderLayout>;
+using ZOrderVolume = Grid3D<float, ZOrderLayout>;
+using TiledVolume = Grid3D<float, TiledLayout>;
+using HilbertVolume = Grid3D<float, HilbertLayout>;
+
+/// Construction knobs for make_volume.
+struct VolumeOpts {
+  std::uint32_t tile = 8;        ///< tiled-layout block edge (pow2)
+  MemoryPolicy memory{};         ///< placement policy (huge pages, first-touch)
+  FirstTouchFn first_touch{};    ///< parallel-init hook when memory.first_touch
+};
+
+/// A float volume in any of the four layouts — std::variant underneath,
+/// so it is a value type (copy/move work) and visit() recovers the static
+/// type for kernels.
+class AnyVolume {
+ public:
+  using Variant = std::variant<ArrayVolume, ZOrderVolume, TiledVolume, HilbertVolume>;
+
+  AnyVolume() = default;
+
+  /// Wraps (moves in) a concrete grid.
+  template <Layout3D L>
+  AnyVolume(Grid3D<float, L> grid) : v_(std::move(grid)) {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] LayoutKind kind() const noexcept {
+    return static_cast<LayoutKind>(v_.index());
+  }
+
+  /// Layout name of the held grid (same strings as to_string(kind())).
+  [[nodiscard]] const char* layout_name() const noexcept { return to_string(kind()); }
+
+  /// Invokes fn with the concrete Grid3D&; returns fn's result.
+  template <class Fn>
+  decltype(auto) visit(Fn&& fn) {
+    return std::visit(std::forward<Fn>(fn), v_);
+  }
+  template <class Fn>
+  decltype(auto) visit(Fn&& fn) const {
+    return std::visit(std::forward<Fn>(fn), v_);
+  }
+
+  /// The held grid as its concrete type; throws std::bad_variant_access
+  /// when the kind does not match.
+  template <Layout3D L>
+  [[nodiscard]] Grid3D<float, L>& as() {
+    return std::get<Grid3D<float, L>>(v_);
+  }
+  template <Layout3D L>
+  [[nodiscard]] const Grid3D<float, L>& as() const {
+    return std::get<Grid3D<float, L>>(v_);
+  }
+
+  // Common Grid3D surface, forwarded through the variant.
+  [[nodiscard]] const Extents3D& extents() const noexcept {
+    return visit([](const auto& g) -> const Extents3D& { return g.extents(); });
+  }
+  [[nodiscard]] std::size_t size() const noexcept {
+    return visit([](const auto& g) { return g.size(); });
+  }
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return visit([](const auto& g) { return g.capacity(); });
+  }
+  [[nodiscard]] float* data() noexcept {
+    return visit([](auto& g) { return g.data(); });
+  }
+  [[nodiscard]] const float* data() const noexcept {
+    return visit([](const auto& g) { return g.data(); });
+  }
+  [[nodiscard]] const AllocReport& alloc_report() const noexcept {
+    return visit([](const auto& g) -> const AllocReport& { return g.alloc_report(); });
+  }
+  [[nodiscard]] float& at(std::uint32_t i, std::uint32_t j, std::uint32_t k) noexcept {
+    return visit([&](auto& g) -> float& { return g.at(i, j, k); });
+  }
+  [[nodiscard]] const float& at(std::uint32_t i, std::uint32_t j,
+                                std::uint32_t k) const noexcept {
+    return visit([&](const auto& g) -> const float& { return g.at(i, j, k); });
+  }
+
+  /// Fills every logical element from fn(i, j, k) -> float.
+  template <class Fn>
+  void fill_from(Fn&& fn) {
+    visit([&](auto& g) { g.fill_from(fn); });
+  }
+
+  /// Copies logical contents from another volume (any layout pair).
+  /// Extents must match.
+  void copy_from(const AnyVolume& other) {
+    visit([&](auto& dst) {
+      other.visit([&](const auto& src) { dst.copy_from(src); });
+    });
+  }
+
+  /// Same contents re-laid-out as `kind` (layout conversion through the
+  /// facade); opts supplies the tile size and placement policy.
+  [[nodiscard]] AnyVolume convert_to(LayoutKind kind, const VolumeOpts& opts = {}) const;
+
+ private:
+  Variant v_;
+};
+
+/// Allocates a zeroed volume of the given layout kind — the single place
+/// the four Grid3D instantiations are spelled.
+[[nodiscard]] AnyVolume make_volume(LayoutKind kind, const Extents3D& extents,
+                                    const VolumeOpts& opts = {});
+
+}  // namespace sfcvis::core

@@ -1,0 +1,187 @@
+// ExecutionContext: the single dispatch point for how a kernel runs.
+//
+// Every kernel driver used to take a raw threads::Pool& and carry its own
+// copy of backend choice, chunk decomposition, and stats plumbing. The
+// context owns those decisions instead:
+//
+//   * backend   — the paper's pthread worker pool (Sec. III) or the OpenMP
+//                 executor (bench/abl_scheduler re-examines the paper's
+//                 pthreads-over-OpenMP claim); selectable per context or
+//                 process-wide via the SFCVIS_BACKEND environment variable.
+//                 Falls back to the pool, with a recorded reason, when the
+//                 build has no OpenMP runtime.
+//   * threads   — worker count and affinity (compact pinning per the
+//                 paper's Ivy Bridge setup).
+//   * chunking  — the curve-sweep chunk decomposition shared by the
+//                 zsweep drivers.
+//   * memory    — the core::MemoryPolicy volumes allocated through the
+//                 context get, plus the first-touch hook that faults pages
+//                 in on the worker set.
+//   * caches    — a StructureCache of derived acceleration structures
+//                 (macrocell grids), so repeated renders of one volume
+//                 stop rebuilding them per call.
+//   * tracing   — an optional owned TraceSession when constructed with
+//                 trace outputs.
+//
+// Outputs are backend-invariant: both backends run the same per-item
+// work with disjoint writes, so pool and OpenMP runs are bit-identical
+// (tests/test_parity.cpp pins this).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "sfcvis/core/volume.hpp"
+#include "sfcvis/exec/structure_cache.hpp"
+#include "sfcvis/exec/trace_session.hpp"
+#include "sfcvis/threads/omp_executor.hpp"
+#include "sfcvis/threads/pool.hpp"
+#include "sfcvis/threads/schedulers.hpp"
+
+namespace sfcvis::exec {
+
+/// Which runtime executes parallel regions.
+enum class Backend : std::uint8_t {
+  kPool = 0,  ///< persistent pthread worker pool (threads::Pool)
+  kOpenMP,    ///< OpenMP parallel-for executor (threads/omp_executor.hpp)
+};
+
+[[nodiscard]] const char* to_string(Backend backend) noexcept;
+
+/// Parses "pool" / "openmp" (also "omp"); throws std::invalid_argument.
+[[nodiscard]] Backend parse_backend(std::string_view name);
+
+/// Process default: SFCVIS_BACKEND=pool|openmp when set (unknown values
+/// are ignored with a warning to stderr, once), else kPool.
+[[nodiscard]] Backend default_backend() noexcept;
+
+/// Full construction knobs; the common cases use the two-argument
+/// ExecutionContext constructors instead.
+struct ExecOptions {
+  unsigned threads = 0;  ///< worker count; 0 = hardware concurrency
+  Backend backend = default_backend();
+  threads::Affinity affinity = threads::Affinity::kNone;
+  std::size_t chunks_per_thread = 8;  ///< curve-sweep decomposition factor
+  core::MemoryPolicy memory{};        ///< policy for make_volume()
+  std::string trace_out;              ///< Chrome trace JSON path ("" = off)
+  std::string report_out;             ///< run-report JSON path ("" = off)
+  bool trace = false;                 ///< enable spans without export files
+};
+
+class ExecutionContext {
+ public:
+  /// Pool-vs-OpenMP per the process default, no pinning.
+  explicit ExecutionContext(unsigned num_threads);
+  ExecutionContext(unsigned num_threads, threads::Affinity affinity);
+  explicit ExecutionContext(const ExecOptions& opts);
+  ExecutionContext(const ExecutionContext&) = delete;
+  ExecutionContext& operator=(const ExecutionContext&) = delete;
+  ~ExecutionContext();
+
+  [[nodiscard]] unsigned size() const noexcept { return num_threads_; }
+  [[nodiscard]] Backend backend() const noexcept { return requested_backend_; }
+  /// Backend actually in use after availability fallback.
+  [[nodiscard]] Backend active_backend() const noexcept { return active_backend_; }
+  /// Why active_backend() differs from backend(); empty when it doesn't.
+  [[nodiscard]] const std::string& backend_note() const noexcept { return backend_note_; }
+  [[nodiscard]] threads::Affinity affinity() const noexcept { return affinity_; }
+  /// True when the pool backend pinned every worker (false before the pool
+  /// is first used, and always false under OpenMP).
+  [[nodiscard]] bool affinity_applied() const noexcept {
+    return pool_ != nullptr && pool_->affinity_applied();
+  }
+  [[nodiscard]] std::size_t chunks_per_thread() const noexcept { return chunks_per_thread_; }
+  [[nodiscard]] const core::MemoryPolicy& memory_policy() const noexcept { return memory_; }
+
+  /// The underlying pthread pool, created on first use (also serves as the
+  /// fallback when an OpenMP dispatch reports unavailable at runtime).
+  [[nodiscard]] threads::Pool& pool();
+
+  /// Cache of derived structures (macrocell grids) keyed on volume identity.
+  [[nodiscard]] StructureCache& structures() noexcept { return structures_; }
+
+  /// The owned trace session, when the context was constructed with trace
+  /// options (nullptr otherwise).
+  [[nodiscard]] TraceSession* trace_session() noexcept { return trace_session_.get(); }
+
+  // -- Parallel dispatch ----------------------------------------------------
+  // fn(item, tid) with tid < size(); items are executed exactly once with
+  // disjoint-write semantics expected from callers, so results do not
+  // depend on the backend's item-to-thread assignment.
+
+  /// Static assignment (the paper's round-robin pencil model on the pool;
+  /// schedule(static) under OpenMP).
+  void parallel_static(std::size_t num_items,
+                       const std::function<void(std::size_t, unsigned)>& fn);
+
+  /// Dynamic work queue (the paper's raycaster worker pool; schedule
+  /// (dynamic, 1) under OpenMP).
+  void parallel_dynamic(std::size_t num_items,
+                        const std::function<void(std::size_t, unsigned)>& fn);
+
+  /// parallel_static with per-worker state: make(tid) runs once per worker
+  /// before its first item, then fn(state, item, tid) for each owned item.
+  template <class MakeState, class Fn>
+  void parallel_static_state(std::size_t num_items, MakeState&& make, Fn&& fn) {
+    if (active_backend_ == Backend::kOpenMP) {
+      using State = std::decay_t<decltype(make(0U))>;
+      // One slot per OpenMP thread number; each slot is only ever touched
+      // by its own thread within the single parallel region, lazily
+      // constructed before that thread's first item.
+      std::vector<std::optional<State>> states(num_threads_);
+      const bool ran = threads::parallel_for_omp_static(
+          num_threads_, num_items, [&](std::size_t item, unsigned tid) {
+            auto& slot = states[tid];
+            if (!slot) {
+              slot.emplace(make(tid));
+            }
+            fn(*slot, item, tid);
+          });
+      if (ran) {
+        return;
+      }
+    }
+    threads::parallel_for_static_state(pool(), num_items, make, fn);
+  }
+
+  // -- Decomposition & memory ----------------------------------------------
+
+  /// Chunk count for a curve sweep over a padded index space: targets
+  /// roughly size()/chunks_per_thread() *logical* voxels per chunk even
+  /// when much of the padded curve is holes.
+  [[nodiscard]] std::size_t curve_chunks(std::size_t logical_size,
+                                         std::size_t padded_capacity) const noexcept;
+
+  /// First-touch hook for core::AlignedBuffer: splits [0, count) into one
+  /// contiguous range per worker and touches each from that worker. The
+  /// returned function captures `this` and must not outlive the context.
+  [[nodiscard]] core::FirstTouchFn first_touch_fn();
+
+  /// Allocates a volume under this context's memory policy, with
+  /// first-touch initialization on this context's workers when the policy
+  /// asks for it.
+  [[nodiscard]] core::AnyVolume make_volume(core::LayoutKind kind,
+                                            const core::Extents3D& extents,
+                                            std::uint32_t tile = 8);
+
+ private:
+  unsigned num_threads_;
+  Backend requested_backend_;
+  Backend active_backend_;
+  std::string backend_note_;
+  threads::Affinity affinity_;
+  std::size_t chunks_per_thread_;
+  core::MemoryPolicy memory_{};
+  std::unique_ptr<threads::Pool> pool_;
+  StructureCache structures_;
+  std::unique_ptr<TraceSession> trace_session_;
+};
+
+}  // namespace sfcvis::exec

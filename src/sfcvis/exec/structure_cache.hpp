@@ -1,0 +1,102 @@
+// Type-erased cache for derived acceleration structures (macrocell grids,
+// and whatever future subsystems summarize a volume), owned by the
+// ExecutionContext so repeated kernel calls over the same volume stop
+// rebuilding their metadata per call.
+//
+// Keys are (owner pointer, 64-bit parameter key, structure type). The
+// owner is the identity of the summarized data — callers pass the
+// volume's storage pointer — so the cache is correct as long as a cached
+// entry's source buffer is neither freed nor mutated; call invalidate()
+// after mutating a volume in place.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <typeindex>
+#include <unordered_map>
+#include <utility>
+
+namespace sfcvis::exec {
+
+class StructureCache {
+ public:
+  StructureCache() = default;
+  StructureCache(const StructureCache&) = delete;
+  StructureCache& operator=(const StructureCache&) = delete;
+
+  /// Returns the cached T for (owner, key), building it via `build()` on a
+  /// miss. The returned shared_ptr keeps the entry alive even across a
+  /// concurrent invalidate(). Concurrent misses may build twice; the first
+  /// insert wins (builds must be deterministic, which macrocell builds are).
+  template <class T, class BuildFn>
+  [[nodiscard]] std::shared_ptr<const T> get_or_build(const void* owner, std::uint64_t key,
+                                                      BuildFn&& build) {
+    const Key k{owner, key, std::type_index(typeid(T))};
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (const auto it = entries_.find(k); it != entries_.end()) {
+        ++hits_;
+        return std::static_pointer_cast<const T>(it->second);
+      }
+    }
+    auto built = std::make_shared<const T>(build());
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto [it, inserted] = entries_.emplace(k, built);
+    if (inserted) {
+      ++misses_;
+    }
+    return std::static_pointer_cast<const T>(it->second);
+  }
+
+  /// Drops every entry derived from `owner` (call after mutating the data
+  /// it summarizes). Outstanding shared_ptrs stay valid.
+  void invalidate(const void* owner) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = entries_.begin(); it != entries_.end();) {
+      it = it->first.owner == owner ? entries_.erase(it) : std::next(it);
+    }
+  }
+
+  void clear() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    entries_.clear();
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+  }
+  [[nodiscard]] std::uint64_t hits() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+  }
+  [[nodiscard]] std::uint64_t misses() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return misses_;
+  }
+
+ private:
+  struct Key {
+    const void* owner;
+    std::uint64_t key;
+    std::type_index type;
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      std::size_t h = std::hash<const void*>{}(k.owner);
+      h ^= std::hash<std::uint64_t>{}(k.key) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+      h ^= k.type.hash_code() + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+      return h;
+    }
+  };
+
+  mutable std::mutex mutex_;
+  std::unordered_map<Key, std::shared_ptr<const void>, KeyHash> entries_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace sfcvis::exec

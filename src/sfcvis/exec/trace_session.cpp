@@ -1,0 +1,58 @@
+#include "sfcvis/exec/trace_session.hpp"
+
+#include <cstdio>
+
+#include "sfcvis/trace/trace.hpp"
+
+namespace sfcvis::exec {
+
+TraceSession::TraceSession(std::string trace_out, std::string report_out, bool force_enable)
+    : trace_out_(std::move(trace_out)),
+      report_out_(std::move(report_out)),
+      active_(force_enable || !trace_out_.empty() || !report_out_.empty()) {
+  if (active_) {
+    current() = this;
+    trace::Tracer::instance().enable();
+  }
+}
+
+TraceSession::~TraceSession() { finish(); }
+
+TraceSession*& TraceSession::current() noexcept {
+  static TraceSession* session = nullptr;
+  return session;
+}
+
+void TraceSession::finish() {
+  if (!active_) {
+    return;
+  }
+  active_ = false;
+  if (current() == this) {
+    current() = nullptr;
+  }
+  auto& tracer = trace::Tracer::instance();
+  // Snapshot before disabling so the report records that spans were live.
+  // Quiescent here: the run's parallel regions have all joined.
+  const trace::TraceSnapshot snap = tracer.snapshot();
+  const trace::MetricsSnapshot metrics = tracer.metrics_snapshot();
+  tracer.disable();
+  if (!trace_out_.empty()) {
+    if (trace::write_text_file(trace_out_, trace::chrome_trace_json(snap))) {
+      std::printf("[trace] %s (%llu spans, %s)\n", trace_out_.c_str(),
+                  static_cast<unsigned long long>(snap.total_spans()),
+                  snap.counter_source.c_str());
+    } else {
+      std::fprintf(stderr, "[trace] failed to write %s\n", trace_out_.c_str());
+    }
+  }
+  if (!report_out_.empty()) {
+    if (trace::write_text_file(report_out_, trace::run_report_json(snap, metrics, tables_))) {
+      std::printf("[trace] %s (%zu tables)\n", report_out_.c_str(), tables_.size());
+    } else {
+      std::fprintf(stderr, "[trace] failed to write %s\n", report_out_.c_str());
+    }
+  }
+}
+
+}  // namespace sfcvis::exec

@@ -1,0 +1,46 @@
+// Scoped tracing for one run: enables the span tracer on construction and,
+// on finish()/destruction, snapshots it and writes the requested export
+// files (Chrome trace-event JSON and/or the machine-readable run report).
+// Tables registered through add_table ride along in the run report.
+//
+// This is the execution layer's half of what used to live in
+// bench/common.hpp; bench::TraceSession derives from it and only adds the
+// command-line-option plumbing.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sfcvis/trace/export.hpp"
+
+namespace sfcvis::exec {
+
+class TraceSession {
+ public:
+  /// Activates when either output path is non-empty or `force_enable` is
+  /// set; a no-op session otherwise.
+  TraceSession(std::string trace_out, std::string report_out, bool force_enable);
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+  ~TraceSession();
+
+  [[nodiscard]] bool active() const noexcept { return active_; }
+
+  /// Records a table for the run report.
+  void add_table(trace::ReportTable table) { tables_.push_back(std::move(table)); }
+
+  /// Stops tracing and writes the export files once (also run by the
+  /// destructor; calling early lets a run flush before its exit path).
+  void finish();
+
+  /// The active session, if any (set for the lifetime of a tracing run).
+  static TraceSession*& current() noexcept;
+
+ private:
+  std::string trace_out_;
+  std::string report_out_;
+  bool active_ = false;
+  std::vector<trace::ReportTable> tables_;
+};
+
+}  // namespace sfcvis::exec

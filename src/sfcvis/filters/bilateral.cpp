@@ -126,8 +126,8 @@ core::Coord3D pencil_voxel(PencilAxis axis, PencilCoords pc, std::uint32_t t) no
   return {};
 }
 
-void bilateral_reference(const core::Grid3D<float, core::ArrayOrderLayout>& src,
-                         core::Grid3D<float, core::ArrayOrderLayout>& dst,
+void bilateral_reference(const core::ArrayVolume& src,
+                         core::ArrayVolume& dst,
                          unsigned radius, float sigma_spatial, float sigma_range) {
   // Straight-line transcription of Eqs. 1-3; no pencils, no loop-order
   // options, no views — deliberately boring so it can serve as the oracle.

@@ -29,11 +29,12 @@
 #include "sfcvis/core/gather.hpp"
 #include "sfcvis/core/grid.hpp"
 #include "sfcvis/core/traced_view.hpp"
+#include "sfcvis/core/volume.hpp"
 #include "sfcvis/core/zquery.hpp"
+#include "sfcvis/exec/execution_context.hpp"
 #include "sfcvis/filters/fastmath.hpp"
 #include "sfcvis/filters/kernels_common.hpp"
 #include "sfcvis/memsim/hierarchy.hpp"
-#include "sfcvis/threads/pool.hpp"
 #include "sfcvis/threads/schedulers.hpp"
 #include "sfcvis/trace/trace.hpp"
 
@@ -245,7 +246,7 @@ template <core::ReadView3D View>
 /// shorter than one full stencil) stay on the clamped kernel throughout.
 /// Output is bit-identical either way.
 template <core::ReadView3D View>
-void bilateral_pencil(const View& src, core::Grid3D<float, core::ArrayOrderLayout>& dst,
+void bilateral_pencil(const View& src, core::ArrayVolume& dst,
                       const BilateralWeights& weights, const BilateralParams& params,
                       std::size_t pencil) {
   const auto& e = src.extents();
@@ -351,8 +352,7 @@ inline void fold_gather_run_stats(core::GatherRunStats& rs) {
 /// for (px, zyx); other configurations differ only by float reassociation
 /// of the tap sum (well under the 1e-5 test tolerance).
 template <core::Layout3D L>
-void bilateral_pencil_gather(const core::Grid3D<float, L>& src,
-                             core::Grid3D<float, core::ArrayOrderLayout>& dst,
+void bilateral_pencil_gather(const core::Grid3D<float, L>& src, core::ArrayVolume& dst,
                              const BilateralWeights& weights,
                              const BilateralParams& params, std::size_t pencil,
                              BilateralGatherScratch& scratch) {
@@ -471,25 +471,24 @@ void bilateral_pencil_gather(const core::Grid3D<float, L>& src,
 
 /// Serial reference implementation (array-order input, xyz order); the
 /// oracle the test suite checks every configuration against.
-void bilateral_reference(const core::Grid3D<float, core::ArrayOrderLayout>& src,
-                         core::Grid3D<float, core::ArrayOrderLayout>& dst,
+void bilateral_reference(const core::ArrayVolume& src, core::ArrayVolume& dst,
                          unsigned radius, float sigma_spatial, float sigma_range);
 
-/// Shared-memory parallel bilateral filter: pencils are assigned to pool
-/// threads round-robin (paper Sec. III-A). Works with any source layout.
-/// With params.use_gather the pencils run the sliding-window gather fast
-/// path on per-worker scratch sized once per parallel region.
+/// Shared-memory parallel bilateral filter: pencils are statically
+/// assigned to the context's workers (paper Sec. III-A). Works with any
+/// source layout. With params.use_gather the pencils run the
+/// sliding-window gather fast path on per-worker scratch sized once per
+/// parallel region.
 template <core::Layout3D L>
-void bilateral_parallel(const core::Grid3D<float, L>& src,
-                        core::Grid3D<float, core::ArrayOrderLayout>& dst,
-                        const BilateralParams& params, threads::Pool& pool) {
+void bilateral_parallel(const core::Grid3D<float, L>& src, core::ArrayVolume& dst,
+                        const BilateralParams& params, exec::ExecutionContext& ctx) {
   const BilateralWeights weights(params);
   const std::size_t pencils = pencil_count(src.extents(), params.pencil);
   SFCVIS_TRACE_SPAN("bilateral.parallel", params.use_gather ? "gather" : "exact",
                     pencils);
   if (params.use_gather) {
-    threads::parallel_for_static_state(
-        pool, pencils,
+    ctx.parallel_static_state(
+        pencils,
         [&](unsigned) {
           BilateralGatherScratch scratch;
           scratch.prepare(weights, params.pencil);
@@ -502,10 +501,16 @@ void bilateral_parallel(const core::Grid3D<float, L>& src,
     return;
   }
   const core::PlainView<float, L> view(src);
-  threads::parallel_for_static(pool, pencils, [&](std::size_t pencil, unsigned) {
+  ctx.parallel_static(pencils, [&](std::size_t pencil, unsigned) {
     SFCVIS_TRACE_SPAN("bilateral.pencil", "exact", pencil);
     bilateral_pencil(view, dst, weights, params, pencil);
   });
+}
+
+/// Facade driver: dispatches on the source volume's runtime layout.
+inline void bilateral_parallel(const core::AnyVolume& src, core::ArrayVolume& dst,
+                               const BilateralParams& params, exec::ExecutionContext& ctx) {
+  src.visit([&](const auto& grid) { bilateral_parallel(grid, dst, params, ctx); });
 }
 
 namespace detail {
@@ -545,10 +550,8 @@ void zsweep_range(const core::ZOrderTables& tables, const core::Extents3D& e,
 /// extension the paper's related work (Bader 2013) describes for matrix
 /// codes; bench/abl_traversal quantifies it for the bilateral filter.
 template <core::Layout3D L>
-void bilateral_zsweep(const core::Grid3D<float, L>& src,
-                      core::Grid3D<float, core::ArrayOrderLayout>& dst,
-                      const BilateralParams& params, threads::Pool& pool,
-                      std::size_t chunks_per_thread = 8) {
+void bilateral_zsweep(const core::Grid3D<float, L>& src, core::ArrayVolume& dst,
+                      const BilateralParams& params, exec::ExecutionContext& ctx) {
   const BilateralWeights weights(params.radius, params.sigma_spatial);
   const core::PlainView<float, L> view(src);
   const auto& e = src.extents();
@@ -556,20 +559,19 @@ void bilateral_zsweep(const core::Grid3D<float, L>& src,
   // Chunks are contiguous ranges of the *padded* curve index space, decoded
   // on the fly — the former materialized 12-byte/voxel order vector (1.6 GB
   // of peak RSS at 512^3) is gone; padded positions decode-and-skip. Each
-  // work item is still a compact curve brick.
+  // work item is still a compact curve brick. The chunk decomposition is
+  // the context's (curve_chunks scales by the padding ratio so the
+  // *logical* voxels per chunk stays at roughly size / (threads *
+  // chunks_per_thread) even when much of the padded curve is holes —
+  // 48^3 pads to 64^3: 58% padding).
   const core::ZOrderTables tables(e);
   const bool cubic = tables.padded().nx == tables.padded().ny &&
                      tables.padded().ny == tables.padded().nz;
   const std::size_t cap = tables.capacity();
-  // Scale the chunk count by the padding ratio so the *logical* voxels per
-  // chunk — what each work item actually filters — stays at roughly
-  // size / (threads * chunks_per_thread) even when much of the padded
-  // curve is holes (48^3 pads to 64^3: 58% padding).
-  const std::size_t num_chunks = std::max<std::size_t>(
-      1, pool.size() * chunks_per_thread * cap / std::max<std::size_t>(1, e.size()));
+  const std::size_t num_chunks = ctx.curve_chunks(e.size(), cap);
   const std::size_t chunk_len = (cap + num_chunks - 1) / num_chunks;
   SFCVIS_TRACE_SPAN("bilateral.zsweep", nullptr, num_chunks);
-  threads::parallel_for_static(pool, num_chunks, [&](std::size_t chunk, unsigned) {
+  ctx.parallel_static(num_chunks, [&](std::size_t chunk, unsigned) {
     SFCVIS_TRACE_SPAN("bilateral.zsweep.chunk", nullptr, chunk);
     const std::size_t begin = chunk * chunk_len;
     const std::size_t end = std::min(cap, begin + chunk_len);
@@ -581,10 +583,15 @@ void bilateral_zsweep(const core::Grid3D<float, L>& src,
   });
 }
 
+/// Facade driver: dispatches on the source volume's runtime layout.
+inline void bilateral_zsweep(const core::AnyVolume& src, core::ArrayVolume& dst,
+                             const BilateralParams& params, exec::ExecutionContext& ctx) {
+  src.visit([&](const auto& grid) { bilateral_zsweep(grid, dst, params, ctx); });
+}
+
 /// Counter-collection variant of the curve-order sweep.
 template <core::Layout3D L>
-void bilateral_zsweep_traced(const core::Grid3D<float, L>& src,
-                             core::Grid3D<float, core::ArrayOrderLayout>& dst,
+void bilateral_zsweep_traced(const core::Grid3D<float, L>& src, core::ArrayVolume& dst,
                              const BilateralParams& params, memsim::Hierarchy& hierarchy,
                              std::size_t max_items = SIZE_MAX,
                              std::size_t chunks_per_thread = 8) {
@@ -633,8 +640,7 @@ void bilateral_zsweep_traced(const core::Grid3D<float, L>& src,
 /// identical voxel set, so the scaled relative difference stays well
 /// defined (see DESIGN.md Sec. 4).
 template <core::Layout3D L>
-void bilateral_traced(const core::Grid3D<float, L>& src,
-                      core::Grid3D<float, core::ArrayOrderLayout>& dst,
+void bilateral_traced(const core::Grid3D<float, L>& src, core::ArrayVolume& dst,
                       const BilateralParams& params, memsim::Hierarchy& hierarchy,
                       std::size_t max_items = SIZE_MAX) {
   const BilateralWeights weights(params.radius, params.sigma_spatial);
@@ -654,6 +660,26 @@ void bilateral_traced(const core::Grid3D<float, L>& src,
     const core::TracedView<float, L, memsim::ThreadSink> view(src, sinks[assignment.tid]);
     bilateral_pencil(view, dst, weights, params, assignment.item);
   }
+}
+
+/// Facade drivers for the traced variants (replay stays single-threaded
+/// and deterministic; the Hierarchy signature is unchanged).
+inline void bilateral_traced(const core::AnyVolume& src, core::ArrayVolume& dst,
+                             const BilateralParams& params, memsim::Hierarchy& hierarchy,
+                             std::size_t max_items = SIZE_MAX) {
+  src.visit([&](const auto& grid) {
+    bilateral_traced(grid, dst, params, hierarchy, max_items);
+  });
+}
+
+inline void bilateral_zsweep_traced(const core::AnyVolume& src, core::ArrayVolume& dst,
+                                    const BilateralParams& params,
+                                    memsim::Hierarchy& hierarchy,
+                                    std::size_t max_items = SIZE_MAX,
+                                    std::size_t chunks_per_thread = 8) {
+  src.visit([&](const auto& grid) {
+    bilateral_zsweep_traced(grid, dst, params, hierarchy, max_items, chunks_per_thread);
+  });
 }
 
 }  // namespace sfcvis::filters

@@ -8,9 +8,8 @@
 #include <vector>
 
 #include "sfcvis/core/grid2d.hpp"
+#include "sfcvis/exec/execution_context.hpp"
 #include "sfcvis/filters/kernels_common.hpp"
-#include "sfcvis/threads/pool.hpp"
-#include "sfcvis/threads/schedulers.hpp"
 
 namespace sfcvis::filters {
 
@@ -51,17 +50,17 @@ template <class T, core::Layout2D L>
 template <core::Layout2D L>
 void bilateral2d_parallel(const core::Grid2D<float, L>& src,
                           core::Grid2D<float, core::ArrayOrderLayout2D>& dst,
-                          const Bilateral2DParams& params, threads::Pool& pool) {
+                          const Bilateral2DParams& params, exec::ExecutionContext& ctx) {
   const auto& e = src.extents();
   if (params.pencil == PencilAxis::kX) {
-    threads::parallel_for_static(pool, e.ny, [&](std::size_t j, unsigned) {
+    ctx.parallel_static(e.ny, [&](std::size_t j, unsigned) {
       for (std::uint32_t i = 0; i < e.nx; ++i) {
         dst.at(i, static_cast<std::uint32_t>(j)) =
             bilateral2d_pixel(src, i, static_cast<std::uint32_t>(j), params);
       }
     });
   } else {
-    threads::parallel_for_static(pool, e.nx, [&](std::size_t i, unsigned) {
+    ctx.parallel_static(e.nx, [&](std::size_t i, unsigned) {
       for (std::uint32_t j = 0; j < e.ny; ++j) {
         dst.at(static_cast<std::uint32_t>(i), j) =
             bilateral2d_pixel(src, static_cast<std::uint32_t>(i), j, params);

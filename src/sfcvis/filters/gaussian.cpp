@@ -19,13 +19,13 @@ std::vector<float> gaussian_kernel_1d(unsigned radius, float sigma) {
   return taps;
 }
 
-void gaussian_separable(const core::Grid3D<float, core::ArrayOrderLayout>& src,
-                        core::Grid3D<float, core::ArrayOrderLayout>& dst, unsigned radius,
+void gaussian_separable(const core::ArrayVolume& src,
+                        core::ArrayVolume& dst, unsigned radius,
                         float sigma) {
   const auto taps = gaussian_kernel_1d(radius, sigma);
   const int r = static_cast<int>(radius);
   const auto& e = src.extents();
-  core::Grid3D<float, core::ArrayOrderLayout> tmp1(e), tmp2(e);
+  core::ArrayVolume tmp1(e), tmp2(e);
 
   auto pass = [&](const auto& in, auto& out, int axis) {
     for (std::uint32_t k = 0; k < e.nz; ++k) {

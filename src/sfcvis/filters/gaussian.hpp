@@ -16,9 +16,9 @@
 
 #include "sfcvis/core/grid.hpp"
 #include "sfcvis/core/traced_view.hpp"
+#include "sfcvis/core/volume.hpp"
+#include "sfcvis/exec/execution_context.hpp"
 #include "sfcvis/filters/kernels_common.hpp"
-#include "sfcvis/threads/pool.hpp"
-#include "sfcvis/threads/schedulers.hpp"
 
 namespace sfcvis::filters {
 
@@ -48,14 +48,13 @@ template <core::ReadView3D View>
 
 /// Parallel dense Gaussian convolution over x-pencils.
 template <core::Layout3D L>
-void gaussian_convolve(const core::Grid3D<float, L>& src,
-                       core::Grid3D<float, core::ArrayOrderLayout>& dst, unsigned radius,
-                       float sigma, threads::Pool& pool) {
+void gaussian_convolve(const core::Grid3D<float, L>& src, core::ArrayVolume& dst,
+                       unsigned radius, float sigma, exec::ExecutionContext& ctx) {
   const auto taps = gaussian_kernel_1d(radius, sigma);
   const core::PlainView<float, L> view(src);
   const auto& e = src.extents();
   const std::size_t pencils = static_cast<std::size_t>(e.ny) * e.nz;
-  threads::parallel_for_static(pool, pencils, [&](std::size_t p, unsigned) {
+  ctx.parallel_static(pencils, [&](std::size_t p, unsigned) {
     const auto j = static_cast<std::uint32_t>(p % e.ny);
     const auto k = static_cast<std::uint32_t>(p / e.ny);
     for (std::uint32_t i = 0; i < e.nx; ++i) {
@@ -64,11 +63,16 @@ void gaussian_convolve(const core::Grid3D<float, L>& src,
   });
 }
 
+/// Facade driver: dispatches on the source volume's runtime layout.
+inline void gaussian_convolve(const core::AnyVolume& src, core::ArrayVolume& dst,
+                              unsigned radius, float sigma, exec::ExecutionContext& ctx) {
+  src.visit([&](const auto& grid) { gaussian_convolve(grid, dst, radius, sigma, ctx); });
+}
+
 /// Serial three-pass separable Gaussian (array-order only); numerically
 /// equivalent to gaussian_convolve up to float rounding, ~ (2r+1)^2 / 3 x
 /// cheaper in taps.
-void gaussian_separable(const core::Grid3D<float, core::ArrayOrderLayout>& src,
-                        core::Grid3D<float, core::ArrayOrderLayout>& dst, unsigned radius,
-                        float sigma);
+void gaussian_separable(const core::ArrayVolume& src, core::ArrayVolume& dst,
+                        unsigned radius, float sigma);
 
 }  // namespace sfcvis::filters

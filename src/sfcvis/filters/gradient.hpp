@@ -8,8 +8,8 @@
 
 #include "sfcvis/core/grid.hpp"
 #include "sfcvis/core/traced_view.hpp"
-#include "sfcvis/threads/pool.hpp"
-#include "sfcvis/threads/schedulers.hpp"
+#include "sfcvis/core/volume.hpp"
+#include "sfcvis/exec/execution_context.hpp"
 
 namespace sfcvis::filters {
 
@@ -28,13 +28,12 @@ template <core::ReadView3D View>
 
 /// Parallel gradient-magnitude field over x-pencils.
 template <core::Layout3D L>
-void gradient_magnitude(const core::Grid3D<float, L>& src,
-                        core::Grid3D<float, core::ArrayOrderLayout>& dst,
-                        threads::Pool& pool) {
+void gradient_magnitude(const core::Grid3D<float, L>& src, core::ArrayVolume& dst,
+                        exec::ExecutionContext& ctx) {
   const core::PlainView<float, L> view(src);
   const auto& e = src.extents();
   const std::size_t pencils = static_cast<std::size_t>(e.ny) * e.nz;
-  threads::parallel_for_static(pool, pencils, [&](std::size_t p, unsigned) {
+  ctx.parallel_static(pencils, [&](std::size_t p, unsigned) {
     const auto j = static_cast<std::uint32_t>(p % e.ny);
     const auto k = static_cast<std::uint32_t>(p / e.ny);
     for (std::uint32_t i = 0; i < e.nx; ++i) {
@@ -42,6 +41,12 @@ void gradient_magnitude(const core::Grid3D<float, L>& src,
       dst.at(i, j, k) = std::sqrt(g[0] * g[0] + g[1] * g[1] + g[2] * g[2]);
     }
   });
+}
+
+/// Facade driver: dispatches on the source volume's runtime layout.
+inline void gradient_magnitude(const core::AnyVolume& src, core::ArrayVolume& dst,
+                               exec::ExecutionContext& ctx) {
+  src.visit([&](const auto& grid) { gradient_magnitude(grid, dst, ctx); });
 }
 
 }  // namespace sfcvis::filters

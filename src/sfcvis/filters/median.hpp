@@ -10,9 +10,9 @@
 
 #include "sfcvis/core/grid.hpp"
 #include "sfcvis/core/traced_view.hpp"
+#include "sfcvis/core/volume.hpp"
+#include "sfcvis/exec/execution_context.hpp"
 #include "sfcvis/filters/kernels_common.hpp"
-#include "sfcvis/threads/pool.hpp"
-#include "sfcvis/threads/schedulers.hpp"
 
 namespace sfcvis::filters {
 
@@ -41,14 +41,13 @@ template <core::ReadView3D View>
 
 /// Parallel 3D median filter over x-pencils.
 template <core::Layout3D L>
-void median_filter(const core::Grid3D<float, L>& src,
-                   core::Grid3D<float, core::ArrayOrderLayout>& dst, unsigned radius,
-                   threads::Pool& pool) {
+void median_filter(const core::Grid3D<float, L>& src, core::ArrayVolume& dst,
+                   unsigned radius, exec::ExecutionContext& ctx) {
   const core::PlainView<float, L> view(src);
   const auto& e = src.extents();
   const std::size_t pencils = static_cast<std::size_t>(e.ny) * e.nz;
   const std::size_t taps = static_cast<std::size_t>(2 * radius + 1);
-  threads::parallel_for_static(pool, pencils, [&, taps](std::size_t p, unsigned) {
+  ctx.parallel_static(pencils, [&, taps](std::size_t p, unsigned) {
     std::vector<float> scratch;
     scratch.reserve(taps * taps * taps);
     const auto j = static_cast<std::uint32_t>(p % e.ny);
@@ -57,6 +56,12 @@ void median_filter(const core::Grid3D<float, L>& src,
       dst.at(i, j, k) = median_voxel(view, i, j, k, radius, scratch);
     }
   });
+}
+
+/// Facade driver: dispatches on the source volume's runtime layout.
+inline void median_filter(const core::AnyVolume& src, core::ArrayVolume& dst,
+                          unsigned radius, exec::ExecutionContext& ctx) {
+  src.visit([&](const auto& grid) { median_filter(grid, dst, radius, ctx); });
 }
 
 }  // namespace sfcvis::filters

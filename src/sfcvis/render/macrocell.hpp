@@ -35,10 +35,10 @@
 #include <vector>
 
 #include "sfcvis/core/grid.hpp"
+#include "sfcvis/core/volume.hpp"
 #include "sfcvis/core/zquery.hpp"
+#include "sfcvis/exec/execution_context.hpp"
 #include "sfcvis/render/vec.hpp"
-#include "sfcvis/threads/pool.hpp"
-#include "sfcvis/threads/schedulers.hpp"
 #include "sfcvis/trace/trace.hpp"
 
 namespace sfcvis::render {
@@ -64,13 +64,20 @@ class MacrocellGrid {
   MacrocellGrid() = default;
 
   /// Builds the grid for `volume`. Throws std::invalid_argument when
-  /// `block` is zero. When `pool` is non-null the cells are computed in
-  /// parallel on its dynamic work queue; the result is identical either
+  /// `block` is zero. When `ctx` is non-null the cells are computed in
+  /// parallel on its dynamic dispatch; the result is identical either
   /// way (each cell is written exactly once).
   template <core::Layout3D L>
   [[nodiscard]] static MacrocellGrid build(const core::Grid3D<float, L>& volume,
                                            std::uint32_t block = 8,
-                                           threads::Pool* pool = nullptr);
+                                           exec::ExecutionContext* ctx = nullptr);
+
+  /// Facade build: dispatches on the volume's runtime layout.
+  [[nodiscard]] static MacrocellGrid build(const core::AnyVolume& volume,
+                                           std::uint32_t block = 8,
+                                           exec::ExecutionContext* ctx = nullptr) {
+    return volume.visit([&](const auto& grid) { return build(grid, block, ctx); });
+  }
 
   [[nodiscard]] bool empty() const noexcept { return block_ == 0; }
   [[nodiscard]] std::uint32_t block_size() const noexcept { return block_; }
@@ -211,9 +218,9 @@ void MacrocellGrid::compute_cell(const core::Grid3D<float, L>& volume, std::uint
 
 template <core::Layout3D L>
 MacrocellGrid MacrocellGrid::build(const core::Grid3D<float, L>& volume, std::uint32_t block,
-                                   threads::Pool* pool) {
+                                   exec::ExecutionContext* ctx) {
   MacrocellGrid grid;
-  SFCVIS_TRACE_SPAN("macrocell.build", pool != nullptr ? "parallel" : "serial");
+  SFCVIS_TRACE_SPAN("macrocell.build", ctx != nullptr ? "parallel" : "serial");
   grid.volume_ = volume.extents();
   grid.cells_ = macrocell_extents(grid.volume_, block);
   grid.block_ = block;
@@ -231,8 +238,8 @@ MacrocellGrid MacrocellGrid::build(const core::Grid3D<float, L>& volume, std::ui
   const auto job = [&](std::size_t idx) {
     compute_cell(volume, block, cell_at(idx), grid.min_[idx], grid.max_[idx]);
   };
-  if (pool != nullptr) {
-    threads::parallel_for_dynamic(*pool, n, [&](std::size_t idx, unsigned) { job(idx); });
+  if (ctx != nullptr) {
+    ctx->parallel_dynamic(n, [&](std::size_t idx, unsigned) { job(idx); });
   } else {
     for (std::size_t idx = 0; idx < n; ++idx) {
       job(idx);

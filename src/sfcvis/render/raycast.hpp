@@ -26,18 +26,20 @@
 #include <cmath>
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <optional>
 #include <utility>
 #include <vector>
 
 #include "sfcvis/core/grid.hpp"
 #include "sfcvis/core/traced_view.hpp"
+#include "sfcvis/core/volume.hpp"
+#include "sfcvis/exec/execution_context.hpp"
 #include "sfcvis/memsim/hierarchy.hpp"
 #include "sfcvis/render/camera.hpp"
 #include "sfcvis/render/image.hpp"
 #include "sfcvis/render/macrocell.hpp"
 #include "sfcvis/render/transfer.hpp"
-#include "sfcvis/threads/pool.hpp"
 #include "sfcvis/threads/schedulers.hpp"
 #include "sfcvis/trace/trace.hpp"
 
@@ -368,36 +370,57 @@ void render_tile(const View& view, const Camera& camera, const TransferFunction&
   }
 }
 
-/// Shared-memory parallel render: tiles consumed by the pool's dynamic
-/// worker queue (the paper's best work-assignment strategy).
+namespace detail {
+
+/// Cache key for a volume's macrocell grid: extents + block size packed
+/// into 64 bits (the volume's identity is the cache's owner pointer).
+[[nodiscard]] inline std::uint64_t macrocell_cache_key(const core::Extents3D& e,
+                                                       std::uint32_t block) noexcept {
+  std::uint64_t key = e.nx;
+  key = key * 0x100000001b3ULL ^ e.ny;
+  key = key * 0x100000001b3ULL ^ e.nz;
+  key = key * 0x100000001b3ULL ^ block;
+  return key;
+}
+
+}  // namespace detail
+
+/// Shared-memory parallel render: tiles consumed by the context's dynamic
+/// dispatch (the paper's best work-assignment strategy).
 ///
 /// When config.use_macrocells is set the render takes the empty-space-
-/// skipping path: a caller-provided `cells` grid is used as-is (build once
-/// outside a timing loop with MacrocellGrid::build), otherwise one is
-/// built here on the same pool. With `collect_stats` each worker folds
-/// its tile-local RayStats into the metrics registry ("raycast.*"
-/// counters; read them via Tracer::metrics_snapshot / render::skip_rate).
+/// skipping path: a caller-provided `cells` grid is used as-is, otherwise
+/// the context's StructureCache supplies one — built on first use, keyed
+/// on the volume's storage identity and cell size, and reused by every
+/// later render of the same volume (the fig4/fig5 orbit pattern no longer
+/// pays a full rebuild per viewpoint). Mutating a volume in place requires
+/// ctx.structures().invalidate(volume.data()). With `collect_stats` each
+/// worker folds its tile-local RayStats into the metrics registry
+/// ("raycast.*" counters; read them via Tracer::metrics_snapshot /
+/// render::skip_rate).
 template <core::Layout3D L>
 [[nodiscard]] Image raycast_parallel(const core::Grid3D<float, L>& volume,
                                      const Camera& camera, const TransferFunction& tf,
-                                     const RenderConfig& config, threads::Pool& pool,
+                                     const RenderConfig& config, exec::ExecutionContext& ctx,
                                      const MacrocellGrid* cells = nullptr,
                                      bool collect_stats = false) {
   Image image(config.image_width, config.image_height);
   const core::PlainView<float, L> view(volume);
-  MacrocellGrid local_cells;
+  std::shared_ptr<const MacrocellGrid> cached_cells;
   const MacrocellGrid* use_cells = nullptr;
   if (config.use_macrocells) {
     if (cells == nullptr) {
-      local_cells = MacrocellGrid::build(volume, config.macrocell_size, &pool);
-      cells = &local_cells;
+      cached_cells = ctx.structures().get_or_build<MacrocellGrid>(
+          volume.data(), detail::macrocell_cache_key(volume.extents(), config.macrocell_size),
+          [&] { return MacrocellGrid::build(volume, config.macrocell_size, &ctx); });
+      cells = cached_cells.get();
     }
     use_cells = cells;
   }
   const TileDecomposition tiles(config.image_width, config.image_height, config.tile_size);
   SFCVIS_TRACE_SPAN("raycast.parallel", use_cells != nullptr ? "macrocell" : "dense",
                     tiles.count());
-  threads::parallel_for_dynamic(pool, tiles.count(), [&](std::size_t t, unsigned) {
+  ctx.parallel_dynamic(tiles.count(), [&](std::size_t t, unsigned) {
     SFCVIS_TRACE_SPAN("raycast.tile", nullptr, t);
     RayStats tile_stats;
     render_tile(view, camera, tf, config, image, tiles.bounds(t), use_cells,
@@ -407,6 +430,19 @@ template <core::Layout3D L>
     }
   });
   return image;
+}
+
+/// Facade driver: dispatches on the volume's runtime layout.
+[[nodiscard]] inline Image raycast_parallel(const core::AnyVolume& volume,
+                                            const Camera& camera,
+                                            const TransferFunction& tf,
+                                            const RenderConfig& config,
+                                            exec::ExecutionContext& ctx,
+                                            const MacrocellGrid* cells = nullptr,
+                                            bool collect_stats = false) {
+  return volume.visit([&](const auto& grid) {
+    return raycast_parallel(grid, camera, tf, config, ctx, cells, collect_stats);
+  });
 }
 
 /// Counter-collection render: replays the access streams of
@@ -464,6 +500,22 @@ template <core::Layout3D L>
     detail::fold_ray_stats(run_stats, rendered);
   }
   return image;
+}
+
+/// Facade driver for the counter-collection render (replay stays
+/// single-threaded and deterministic; the Hierarchy signature is
+/// unchanged).
+[[nodiscard]] inline Image raycast_traced(const core::AnyVolume& volume,
+                                          const Camera& camera, const TransferFunction& tf,
+                                          const RenderConfig& config,
+                                          memsim::Hierarchy& hierarchy,
+                                          std::size_t max_items = SIZE_MAX,
+                                          const MacrocellGrid* cells = nullptr,
+                                          bool collect_stats = false) {
+  return volume.visit([&](const auto& grid) {
+    return raycast_traced(grid, camera, tf, config, hierarchy, max_items, cells,
+                          collect_stats);
+  });
 }
 
 }  // namespace sfcvis::render

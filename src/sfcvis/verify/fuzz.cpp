@@ -9,6 +9,8 @@
 #include "sfcvis/core/gather.hpp"
 #include "sfcvis/core/grid.hpp"
 #include "sfcvis/core/layout.hpp"
+#include "sfcvis/core/volume.hpp"
+#include "sfcvis/exec/execution_context.hpp"
 #include "sfcvis/filters/bilateral.hpp"
 #include "sfcvis/filters/gaussian.hpp"
 #include "sfcvis/filters/median.hpp"
@@ -16,19 +18,18 @@
 #include "sfcvis/render/image.hpp"
 #include "sfcvis/render/raycast.hpp"
 #include "sfcvis/render/transfer.hpp"
-#include "sfcvis/threads/pool.hpp"
 #include "sfcvis/verify/rng.hpp"
 
 namespace sfcvis::verify {
 namespace {
 
+using core::AnyVolume;
 using core::ArrayOrderLayout;
 using core::Extents3D;
 using core::Grid3D;
-using core::HilbertLayout;
-using core::TiledLayout;
+using core::LayoutKind;
 using core::ZOrderLayout;
-using ArrayGrid = Grid3D<float, ArrayOrderLayout>;
+using ArrayGrid = core::ArrayVolume;
 
 void record(FuzzSummary& summary, DiffReport report) {
   ++summary.checks;
@@ -117,18 +118,20 @@ float field_value(std::uint64_t content_seed, unsigned kind, const Extents3D& e,
 /// The four layout variants of one logical volume, all filled from the same
 /// coordinate function — identical logical contents by construction.
 struct VolumeSet {
-  ArrayGrid array;
-  Grid3D<float, ZOrderLayout> zorder;
-  Grid3D<float, TiledLayout> tiled;
-  Grid3D<float, HilbertLayout> hilbert;
+  AnyVolume array;
+  AnyVolume zorder;
+  AnyVolume tiled;
+  AnyVolume hilbert;
 };
 
 VolumeSet make_volumes(const Extents3D& e, std::uint64_t content_seed, unsigned kind,
                        std::uint32_t tile, std::ostringstream& desc) {
-  VolumeSet v{ArrayGrid(ArrayOrderLayout(e)),
-              Grid3D<float, ZOrderLayout>(ZOrderLayout(e)),
-              Grid3D<float, TiledLayout>(TiledLayout(e, tile)),
-              Grid3D<float, HilbertLayout>(HilbertLayout(e))};
+  core::VolumeOpts opts;
+  opts.tile = tile;
+  VolumeSet v{core::make_volume(LayoutKind::kArray, e, opts),
+              core::make_volume(LayoutKind::kZOrder, e, opts),
+              core::make_volume(LayoutKind::kTiled, e, opts),
+              core::make_volume(LayoutKind::kHilbert, e, opts)};
   const auto fill = [&](auto& grid) {
     grid.fill_from([&](std::uint32_t i, std::uint32_t j, std::uint32_t k) {
       return field_value(content_seed, kind, e, i, j, k);
@@ -259,16 +262,15 @@ std::string bilateral_label(const filters::BilateralParams& p) {
   return out.str();
 }
 
-template <core::Layout3D L>
-ArrayGrid run_bilateral(const Grid3D<float, L>& src, const filters::BilateralParams& p,
-                        threads::Pool& pool) {
+ArrayGrid run_bilateral(const AnyVolume& src, const filters::BilateralParams& p,
+                        exec::ExecutionContext& pool) {
   ArrayGrid dst(ArrayOrderLayout(src.extents()));
   filters::bilateral_parallel(src, dst, p, pool);
   return dst;
 }
 
 void fuzz_bilateral(FuzzSummary& summary, const VolumeSet& vols, SplitMix64& rng,
-                    bool quick, threads::Pool& pool, std::ostringstream& desc) {
+                    bool quick, exec::ExecutionContext& pool, std::ostringstream& desc) {
   const unsigned configs = quick ? 2 : 3;
   for (unsigned c = 0; c < configs; ++c) {
     const filters::BilateralParams p = draw_bilateral(rng, quick);
@@ -284,8 +286,8 @@ void fuzz_bilateral(FuzzSummary& summary, const VolumeSet& vols, SplitMix64& rng
                                   Tolerance::bit_identical(), label + " [hilbert vs array]"));
 
     ArrayGrid reference(ArrayOrderLayout(vols.array.extents()));
-    filters::bilateral_reference(vols.array, reference, p.radius, p.sigma_spatial,
-                                 p.sigma_range);
+    filters::bilateral_reference(vols.array.as<ArrayOrderLayout>(), reference, p.radius,
+                                 p.sigma_spatial, p.sigma_range);
     record(summary, compare_grids(reference, oracle, bilateral_tier(p),
                                   label + " [vs serial reference]"));
   }
@@ -301,8 +303,8 @@ void fuzz_bilateral(FuzzSummary& summary, const VolumeSet& vols, SplitMix64& rng
     p.order = filters::LoopOrder::kXYZ;
     desc << " | zsweep";
     ArrayGrid reference(ArrayOrderLayout(vols.array.extents()));
-    filters::bilateral_reference(vols.array, reference, p.radius, p.sigma_spatial,
-                                 p.sigma_range);
+    filters::bilateral_reference(vols.array.as<ArrayOrderLayout>(), reference, p.radius,
+                                 p.sigma_spatial, p.sigma_range);
     ArrayGrid swept(ArrayOrderLayout(vols.array.extents()));
     filters::bilateral_zsweep(vols.zorder, swept, p, pool);
     record(summary, compare_grids(reference, swept, Tolerance::bit_identical(),
@@ -315,7 +317,7 @@ void fuzz_bilateral(FuzzSummary& summary, const VolumeSet& vols, SplitMix64& rng
 // ---------------------------------------------------------------------------
 
 void fuzz_smoother(FuzzSummary& summary, const VolumeSet& vols, SplitMix64& rng,
-                   threads::Pool& pool, std::ostringstream& desc) {
+                   exec::ExecutionContext& pool, std::ostringstream& desc) {
   const Extents3D& e = vols.array.extents();
   ArrayGrid oracle{ArrayOrderLayout(e)};
   ArrayGrid out{ArrayOrderLayout(e)};
@@ -351,7 +353,7 @@ void fuzz_smoother(FuzzSummary& summary, const VolumeSet& vols, SplitMix64& rng,
 // ---------------------------------------------------------------------------
 
 void fuzz_raycast(FuzzSummary& summary, const VolumeSet& vols, SplitMix64& rng,
-                  bool quick, threads::Pool& pool, std::ostringstream& desc) {
+                  bool quick, exec::ExecutionContext& pool, std::ostringstream& desc) {
   const Extents3D& e = vols.array.extents();
   render::RenderConfig cfg;
   cfg.image_width = quick ? 48 : 96;
@@ -414,13 +416,16 @@ FuzzSummary run_fuzz_case(std::uint64_t seed, const FuzzOptions& opts) {
   const VolumeSet vols = make_volumes(e, content_seed, fill_kind, rng.pick(kTiles), desc);
 
   const auto nthreads = static_cast<unsigned>(rng.range(1, 4));
-  threads::Pool pool(nthreads);
+  exec::ExecutionContext pool(nthreads);
   desc << " threads=" << nthreads;
 
-  spot_check_gather(summary, vols.array, rng, 2);
-  spot_check_gather(summary, vols.zorder, rng, 3);
-  spot_check_gather(summary, vols.tiled, rng, 3);
-  spot_check_gather(summary, vols.hilbert, rng, 3);
+  const auto spot = [&](const AnyVolume& v, unsigned rows) {
+    v.visit([&](const auto& grid) { spot_check_gather(summary, grid, rng, rows); });
+  };
+  spot(vols.array, 2);
+  spot(vols.zorder, 3);
+  spot(vols.tiled, 3);
+  spot(vols.hilbert, 3);
 
   fuzz_bilateral(summary, vols, rng, opts.quick, pool, desc);
   fuzz_smoother(summary, vols, rng, pool, desc);
@@ -461,7 +466,7 @@ FuzzSummary run_metamorphic_case(std::uint64_t seed, const FuzzOptions& opts) {
   });
 
   const auto nthreads = static_cast<unsigned>(rng.range(1, 4));
-  threads::Pool pool(nthreads);
+  exec::ExecutionContext pool(nthreads);
   desc << " threads=" << nthreads;
 
   render::RenderConfig cfg;

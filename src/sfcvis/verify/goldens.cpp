@@ -13,7 +13,8 @@
 #include "sfcvis/render/camera.hpp"
 #include "sfcvis/render/raycast.hpp"
 #include "sfcvis/render/transfer.hpp"
-#include "sfcvis/threads/pool.hpp"
+#include "sfcvis/core/volume.hpp"
+#include "sfcvis/exec/execution_context.hpp"
 #include "sfcvis/verify/rng.hpp"
 
 namespace sfcvis::verify {
@@ -33,8 +34,7 @@ namespace {
 
 using core::ArrayOrderLayout;
 using core::Extents3D;
-using core::Grid3D;
-using ArrayGrid = Grid3D<float, ArrayOrderLayout>;
+using ArrayGrid = core::ArrayVolume;
 
 /// Integer-only checksums first: these pin the SplitMix64 fill hash and the
 /// Morton codec bit-for-bit and are portable across toolchains (no floats
@@ -85,7 +85,7 @@ std::vector<GoldenEntry> compute_goldens() {
   add("core/morton-codec", golden_morton_codec());
 
   const Extents3D e = Extents3D::cube(16);
-  threads::Pool pool(3);
+  exec::ExecutionContext pool(3);
 
   ArrayGrid phantom(e);
   data::fill_mri_phantom(phantom,

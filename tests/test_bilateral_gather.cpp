@@ -8,11 +8,13 @@
 #include <cstdint>
 #include <vector>
 
+#include "sfcvis/exec/execution_context.hpp"
 #include "sfcvis/data/phantom.hpp"
 #include "sfcvis/filters/bilateral.hpp"
 #include "sfcvis/filters/fastmath.hpp"
 
 namespace core = sfcvis::core;
+namespace exec = sfcvis::exec;
 namespace data = sfcvis::data;
 namespace filters = sfcvis::filters;
 namespace threads = sfcvis::threads;
@@ -58,7 +60,7 @@ Grid3D<float, ArrayOrderLayout> run_parallel(const Grid3D<float, Layout>& src,
                                              const BilateralParams& params,
                                              unsigned nthreads = 3) {
   Grid3D<float, ArrayOrderLayout> dst(src.extents());
-  threads::Pool pool(nthreads);
+  exec::ExecutionContext pool(nthreads);
   filters::bilateral_parallel(src, dst, params, pool);
   return dst;
 }
@@ -347,7 +349,7 @@ void check_degenerate(const Extents3D& e, unsigned radius) {
   BilateralParams zparams;
   zparams.radius = radius;
   Grid3D<float, ArrayOrderLayout> dst(e);
-  threads::Pool pool(3);
+  exec::ExecutionContext pool(3);
   filters::bilateral_zsweep(src, dst, zparams, pool);
   expect_grids_identical(dst, ref);
   filters::bilateral_zsweep(zsrc, dst, zparams, pool);

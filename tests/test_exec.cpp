@@ -1,0 +1,225 @@
+// exec::ExecutionContext: backend selection, dispatch coverage, curve
+// decomposition, the structure cache, and policy-driven allocation — the
+// contract every migrated kernel driver now leans on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "sfcvis/core/volume.hpp"
+#include "sfcvis/exec/execution_context.hpp"
+#include "sfcvis/exec/structure_cache.hpp"
+#include "sfcvis/threads/omp_executor.hpp"
+
+namespace {
+
+using namespace sfcvis;
+using exec::Backend;
+using exec::ExecOptions;
+using exec::ExecutionContext;
+
+TEST(Backend, ToStringAndParseRoundTrip) {
+  EXPECT_STREQ(exec::to_string(Backend::kPool), "pool");
+  EXPECT_STREQ(exec::to_string(Backend::kOpenMP), "openmp");
+  EXPECT_EQ(exec::parse_backend("pool"), Backend::kPool);
+  EXPECT_EQ(exec::parse_backend("pthreads"), Backend::kPool);
+  EXPECT_EQ(exec::parse_backend("openmp"), Backend::kOpenMP);
+  EXPECT_EQ(exec::parse_backend("omp"), Backend::kOpenMP);
+  EXPECT_THROW((void)exec::parse_backend("tbb"), std::invalid_argument);
+  EXPECT_THROW((void)exec::parse_backend(""), std::invalid_argument);
+}
+
+TEST(ExecutionContextTest, ResolvesThreadCount) {
+  ExecutionContext three(3);
+  EXPECT_EQ(three.size(), 3U);
+  ExecutionContext def(0);
+  EXPECT_GE(def.size(), 1U);
+}
+
+TEST(ExecutionContextTest, StaticDispatchCoversEveryItemOnce) {
+  ExecutionContext ctx(3);
+  const std::size_t n = 1000;
+  std::vector<std::atomic<int>> counts(n);
+  ctx.parallel_static(n, [&](std::size_t item, unsigned tid) {
+    ASSERT_LT(tid, ctx.size());
+    counts[item].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(counts[i].load(), 1) << "item " << i;
+  }
+}
+
+TEST(ExecutionContextTest, DynamicDispatchCoversEveryItemOnce) {
+  ExecutionContext ctx(4);
+  const std::size_t n = 777;
+  std::vector<std::atomic<int>> counts(n);
+  ctx.parallel_dynamic(n, [&](std::size_t item, unsigned tid) {
+    ASSERT_LT(tid, ctx.size());
+    counts[item].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(counts[i].load(), 1) << "item " << i;
+  }
+}
+
+TEST(ExecutionContextTest, StaticStateMakesAtMostOneStatePerWorker) {
+  ExecutionContext ctx(3);
+  std::atomic<int> makes{0};
+  const std::size_t n = 256;
+  std::vector<std::atomic<int>> counts(n);
+  ctx.parallel_static_state(
+      n,
+      [&](unsigned tid) {
+        makes.fetch_add(1, std::memory_order_relaxed);
+        return static_cast<int>(tid);
+      },
+      [&](int& state, std::size_t item, unsigned tid) {
+        EXPECT_EQ(state, static_cast<int>(tid));
+        counts[item].fetch_add(1, std::memory_order_relaxed);
+      });
+  EXPECT_GE(makes.load(), 1);
+  EXPECT_LE(makes.load(), static_cast<int>(ctx.size()));
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(counts[i].load(), 1) << "item " << i;
+  }
+}
+
+TEST(ExecutionContextTest, CurveChunksScalesWithPaddingRatio) {
+  ExecOptions opts;
+  opts.threads = 3;
+  opts.chunks_per_thread = 8;
+  ExecutionContext ctx(opts);
+  // Unpadded curve: threads * chunks_per_thread chunks.
+  EXPECT_EQ(ctx.curve_chunks(1000, 1000), 24U);
+  // Half the padded curve is holes: twice the chunks keeps the *logical*
+  // work per chunk on target.
+  EXPECT_EQ(ctx.curve_chunks(1000, 2000), 48U);
+  // Degenerate inputs clamp to at least one chunk.
+  EXPECT_EQ(ctx.curve_chunks(1, 0), 1U);
+  EXPECT_GE(ctx.curve_chunks(0, 64), 1U);
+}
+
+TEST(ExecutionContextTest, FirstTouchFnCoversRangeExactlyOnce) {
+  ExecutionContext ctx(3);
+  const core::FirstTouchFn fn = ctx.first_touch_fn();
+  const std::size_t count = 1013;  // prime: uneven split across 3 workers
+  std::mutex mu;
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;
+  fn(count, [&](std::size_t begin, std::size_t end) {
+    const std::lock_guard<std::mutex> lock(mu);
+    ranges.emplace_back(begin, end);
+  });
+  std::sort(ranges.begin(), ranges.end());
+  std::size_t covered = 0;
+  for (const auto& [begin, end] : ranges) {
+    EXPECT_EQ(begin, covered) << "gap or overlap before " << begin;
+    EXPECT_GT(end, begin);
+    covered = end;
+  }
+  EXPECT_EQ(covered, count);
+}
+
+TEST(ExecutionContextTest, MakeVolumeAppliesContextMemoryPolicy) {
+  ExecOptions opts;
+  opts.threads = 2;
+  opts.memory.first_touch = true;
+  ExecutionContext ctx(opts);
+  const core::AnyVolume v = ctx.make_volume(core::LayoutKind::kZOrder,
+                                            core::Extents3D{20, 7, 5});
+  const core::AllocReport& report = v.alloc_report();
+  EXPECT_TRUE(report.first_touch_requested);
+  EXPECT_TRUE(report.first_touch_applied);
+  // First-touch is a placement detail: contents are still value-initialized,
+  // padding included.
+  for (std::size_t n = 0; n < v.capacity(); ++n) {
+    ASSERT_EQ(v.data()[n], 0.0f) << "element " << n;
+  }
+}
+
+TEST(ExecutionContextTest, OpenMPRequestHonouredOrReportedFallback) {
+  ExecOptions opts;
+  opts.threads = 2;
+  opts.backend = Backend::kOpenMP;
+  ExecutionContext ctx(opts);
+  EXPECT_EQ(ctx.backend(), Backend::kOpenMP);
+  if (threads::openmp_available()) {
+    EXPECT_EQ(ctx.active_backend(), Backend::kOpenMP);
+    EXPECT_TRUE(ctx.backend_note().empty());
+  } else {
+    EXPECT_EQ(ctx.active_backend(), Backend::kPool);
+    EXPECT_FALSE(ctx.backend_note().empty());
+  }
+  // Dispatch works either way.
+  std::atomic<std::size_t> sum{0};
+  ctx.parallel_static(100, [&](std::size_t item, unsigned) {
+    sum.fetch_add(item, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), 4950U);
+}
+
+TEST(ExecutionContextTest, AffinityRequestIsRecorded) {
+  ExecutionContext ctx(2, threads::Affinity::kCompact);
+  EXPECT_EQ(ctx.affinity(), threads::Affinity::kCompact);
+  std::atomic<int> ran{0};
+  ctx.parallel_static(8, [&](std::size_t, unsigned) {
+    ran.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(ran.load(), 8);
+  // Pinning may legitimately fail (cgroup restrictions); the accessor must
+  // simply be callable and stable once the pool exists.
+  const bool applied = ctx.affinity_applied();
+  EXPECT_EQ(ctx.affinity_applied(), applied);
+}
+
+TEST(StructureCacheTest, HitsMissesAndInvalidate) {
+  exec::StructureCache cache;
+  int builds = 0;
+  const int owner_a = 0, owner_b = 0;
+  const auto build = [&] {
+    ++builds;
+    return 42;
+  };
+  const auto first = cache.get_or_build<int>(&owner_a, 7, build);
+  EXPECT_EQ(*first, 42);
+  EXPECT_EQ(builds, 1);
+  EXPECT_EQ(cache.misses(), 1U);
+  EXPECT_EQ(cache.hits(), 0U);
+
+  const auto again = cache.get_or_build<int>(&owner_a, 7, build);
+  EXPECT_EQ(again.get(), first.get());
+  EXPECT_EQ(builds, 1);
+  EXPECT_EQ(cache.hits(), 1U);
+
+  // Different parameter key or owner → separate entries.
+  (void)cache.get_or_build<int>(&owner_a, 8, build);
+  (void)cache.get_or_build<int>(&owner_b, 7, build);
+  EXPECT_EQ(builds, 3);
+  EXPECT_EQ(cache.size(), 3U);
+
+  cache.invalidate(&owner_a);
+  EXPECT_EQ(cache.size(), 1U);
+  // Outstanding shared_ptrs survive invalidation.
+  EXPECT_EQ(*first, 42);
+  (void)cache.get_or_build<int>(&owner_a, 7, build);
+  EXPECT_EQ(builds, 4);
+
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0U);
+}
+
+TEST(StructureCacheTest, DistinguishesTypesUnderOneKey) {
+  exec::StructureCache cache;
+  const int owner = 0;
+  const auto as_int = cache.get_or_build<int>(&owner, 1, [] { return 5; });
+  const auto as_double = cache.get_or_build<double>(&owner, 1, [] { return 2.5; });
+  EXPECT_EQ(*as_int, 5);
+  EXPECT_EQ(*as_double, 2.5);
+  EXPECT_EQ(cache.size(), 2U);
+}
+
+}  // namespace

@@ -4,12 +4,14 @@
 #include <cmath>
 #include <tuple>
 
+#include "sfcvis/exec/execution_context.hpp"
 #include "sfcvis/data/phantom.hpp"
 #include "sfcvis/filters/bilateral.hpp"
 #include "sfcvis/filters/gaussian.hpp"
 #include "sfcvis/memsim/platforms.hpp"
 
 namespace core = sfcvis::core;
+namespace exec = sfcvis::exec;
 namespace data = sfcvis::data;
 namespace filters = sfcvis::filters;
 namespace memsim = sfcvis::memsim;
@@ -120,7 +122,7 @@ TEST(BilateralSemantics, IdentityOnConstantVolume) {
   const Extents3D e{10, 10, 10};
   Grid3D<float, ArrayOrderLayout> src(e), dst(e);
   src.fill_from([](auto, auto, auto) { return 0.4f; });
-  threads::Pool pool(2);
+  exec::ExecutionContext pool(2);
   filters::bilateral_parallel(src, dst, BilateralParams{2, 1.5f, 0.1f}, pool);
   dst.for_each_index([&](std::uint32_t i, std::uint32_t j, std::uint32_t k) {
     ASSERT_NEAR(dst.at(i, j, k), 0.4f, 1e-6f);
@@ -131,7 +133,7 @@ TEST(BilateralSemantics, SmoothsNoiseWithinRegions) {
   const Extents3D e{16, 8, 8};
   Grid3D<float, ArrayOrderLayout> src(e), dst(e);
   fill_noisy_step(src);
-  threads::Pool pool(2);
+  exec::ExecutionContext pool(2);
   filters::bilateral_parallel(src, dst, BilateralParams{2, 2.0f, 0.2f}, pool);
   // Variance within the left flat region must drop.
   auto region_variance = [&](const auto& g) {
@@ -157,7 +159,7 @@ TEST(BilateralSemantics, PreservesEdgesBetterThanGaussian) {
   const Extents3D e{16, 8, 8};
   Grid3D<float, ArrayOrderLayout> src(e), bilat(e), gauss(e);
   fill_noisy_step(src);
-  threads::Pool pool(2);
+  exec::ExecutionContext pool(2);
   filters::bilateral_parallel(src, bilat, BilateralParams{2, 2.0f, 0.1f}, pool);
   filters::gaussian_convolve(src, gauss, 2, 2.0f, pool);
   // Edge magnitude across the step at i = 7|8.
@@ -177,7 +179,7 @@ TEST(BilateralSemantics, MatchesReferenceAllRadii) {
   const Extents3D e{12, 10, 8};
   Grid3D<float, ArrayOrderLayout> src(e);
   fill_noisy_step(src);
-  threads::Pool pool(3);
+  exec::ExecutionContext pool(3);
   for (const unsigned radius : {1u, 2u, 3u}) {
     Grid3D<float, ArrayOrderLayout> expected(e), got(e);
     filters::bilateral_reference(src, expected, radius, 1.5f, 0.15f);
@@ -206,7 +208,7 @@ TEST_P(BilateralConfigSweep, AllLayoutsMatchReference) {
   filters::bilateral_reference(src, expected, params.radius, params.sigma_spatial,
                                params.sigma_range);
 
-  threads::Pool pool(nthreads);
+  exec::ExecutionContext pool(nthreads);
   Grid3D<float, ArrayOrderLayout> got(e);
   filters::bilateral_parallel(src, got, params, pool);
   expect_grids_near(expected, got, 1e-5f);
@@ -295,7 +297,7 @@ TEST(BilateralZSweep, MatchesReferenceOnBothLayouts) {
   Grid3D<float, ArrayOrderLayout> expected(e), got(e);
   filters::bilateral_reference(src, expected, params.radius, params.sigma_spatial,
                                params.sigma_range);
-  threads::Pool pool(3);
+  exec::ExecutionContext pool(3);
   filters::bilateral_zsweep(src, got, params, pool);
   expect_grids_near(expected, got, 1e-5f);
   filters::bilateral_zsweep(src_z, got, params, pool);
@@ -343,7 +345,7 @@ TEST(Gaussian, ConvolveIdentityOnConstant) {
   const Extents3D e{8, 8, 8};
   Grid3D<float, ArrayOrderLayout> src(e), dst(e);
   src.fill_from([](auto, auto, auto) { return 0.7f; });
-  threads::Pool pool(2);
+  exec::ExecutionContext pool(2);
   filters::gaussian_convolve(src, dst, 2, 1.5f, pool);
   dst.for_each_index([&](std::uint32_t i, std::uint32_t j, std::uint32_t k) {
     ASSERT_NEAR(dst.at(i, j, k), 0.7f, 1e-5f);
@@ -354,7 +356,7 @@ TEST(Gaussian, SeparableMatchesDense) {
   const Extents3D e{10, 9, 8};
   Grid3D<float, ArrayOrderLayout> src(e), dense(e), separable(e);
   fill_noisy_step(src);
-  threads::Pool pool(2);
+  exec::ExecutionContext pool(2);
   filters::gaussian_convolve(src, dense, 2, 1.3f, pool);
   filters::gaussian_separable(src, separable, 2, 1.3f);
   // Interior voxels match exactly up to rounding; border voxels differ
@@ -373,7 +375,7 @@ TEST(Gaussian, WorksOnZOrderSource) {
   Grid3D<float, ArrayOrderLayout> src(e), from_a(e), from_z(e);
   fill_noisy_step(src);
   const auto src_z = core::convert_layout<ZOrderLayout>(src);
-  threads::Pool pool(2);
+  exec::ExecutionContext pool(2);
   filters::gaussian_convolve(src, from_a, 1, 1.0f, pool);
   filters::gaussian_convolve(src_z, from_z, 1, 1.0f, pool);
   expect_grids_near(from_a, from_z, 1e-6f);
@@ -385,7 +387,7 @@ TEST(Integration, PhantomDenoisingImprovesFidelity) {
   Grid3D<float, ArrayOrderLayout> clean(e), noisy(e), denoised(e);
   data::fill_mri_phantom(clean, {.seed = 9, .texture_amplitude = 0.0f, .noise_sigma = 0.0f});
   data::fill_mri_phantom(noisy, {.seed = 9, .texture_amplitude = 0.0f, .noise_sigma = 0.15f});
-  threads::Pool pool(2);
+  exec::ExecutionContext pool(2);
   filters::bilateral_parallel(noisy, denoised, BilateralParams{2, 1.5f, 0.15f}, pool);
   auto rmse = [&](const auto& g) {
     double sum = 0;

@@ -11,9 +11,11 @@
 #include "sfcvis/filters/gradient.hpp"
 #include "sfcvis/filters/median.hpp"
 #include "sfcvis/render/raycast.hpp"
+#include "sfcvis/exec/execution_context.hpp"
 #include "sfcvis/threads/pool.hpp"
 
 namespace core = sfcvis::core;
+namespace exec = sfcvis::exec;
 namespace data = sfcvis::data;
 namespace filters = sfcvis::filters;
 namespace render = sfcvis::render;
@@ -32,7 +34,7 @@ TEST(Median, IdentityOnConstant) {
   const Extents3D e{8, 8, 8};
   Grid3D<float, ArrayOrderLayout> src(e), dst(e);
   src.fill_from([](auto, auto, auto) { return 0.3f; });
-  threads::Pool pool(2);
+  exec::ExecutionContext pool(2);
   filters::median_filter(src, dst, 1, pool);
   dst.for_each_index([&](std::uint32_t i, std::uint32_t j, std::uint32_t k) {
     ASSERT_EQ(dst.at(i, j, k), 0.3f);
@@ -48,7 +50,7 @@ TEST(Median, RemovesImpulseNoiseCompletely) {
     const std::uint32_t h = (i * 73856093u) ^ (j * 19349663u) ^ (k * 83492791u);
     return (h % 29 == 0) ? 50.0f : 1.0f;  // sparse impulses
   });
-  threads::Pool pool(2);
+  exec::ExecutionContext pool(2);
   filters::median_filter(src, dst, 1, pool);
   float peak = 0;
   dst.for_each_index([&](std::uint32_t i, std::uint32_t j, std::uint32_t k) {
@@ -63,7 +65,7 @@ TEST(Median, MatchesSortReference) {
   src.fill_from([](std::uint32_t i, std::uint32_t j, std::uint32_t k) {
     return std::sin(static_cast<float>(i * 7 + j * 3 + k * 11));
   });
-  threads::Pool pool(2);
+  exec::ExecutionContext pool(2);
   filters::median_filter(src, dst, 1, pool);
   // Reference: gather and sort.
   src.for_each_index([&](std::uint32_t i, std::uint32_t j, std::uint32_t k) {
@@ -89,7 +91,7 @@ TEST(Median, LayoutTransparent) {
     return static_cast<float>((i * 31 + j * 17 + k * 7) % 23);
   });
   const auto src_z = core::convert_layout<ZOrderLayout>(src);
-  threads::Pool pool(3);
+  exec::ExecutionContext pool(3);
   filters::median_filter(src, from_a, 2, pool);
   filters::median_filter(src_z, from_z, 2, pool);
   src.for_each_index([&](std::uint32_t i, std::uint32_t j, std::uint32_t k) {
@@ -119,7 +121,7 @@ TEST(Gradient, MagnitudeFieldOnLinearRamp) {
   const Extents3D e{8, 8, 8};
   Grid3D<float, ArrayOrderLayout> src(e), mag(e);
   src.fill_from([](std::uint32_t i, auto, auto) { return 3.0f * static_cast<float>(i); });
-  threads::Pool pool(2);
+  exec::ExecutionContext pool(2);
   filters::gradient_magnitude(src, mag, pool);
   // Interior voxels: |grad| = 3; border x voxels see a halved one-sided
   // difference.
@@ -138,7 +140,7 @@ TEST(Gradient, ZeroOnConstantField) {
   const Extents3D e{6, 6, 6};
   Grid3D<float, ArrayOrderLayout> src(e), mag(e);
   src.fill_from([](auto, auto, auto) { return 5.0f; });
-  threads::Pool pool(2);
+  exec::ExecutionContext pool(2);
   filters::gradient_magnitude(src, mag, pool);
   mag.for_each_index([&](std::uint32_t i, std::uint32_t j, std::uint32_t k) {
     ASSERT_EQ(mag.at(i, j, k), 0.0f);
@@ -205,7 +207,7 @@ TEST(RenderModes, GradientShadingDarkensGrazingSurfaces) {
     const float dz = static_cast<float>(k) - 15.5f;
     return (dx * dx + dy * dy + dz * dz) < 100.0f ? 1.0f : 0.0f;
   });
-  threads::Pool pool(2);
+  exec::ExecutionContext pool(2);
   const render::TransferFunction tf(
       {{0.0f, {0, 0, 0, 0}}, {0.5f, {0, 0, 0, 0}}, {1.0f, {1, 1, 1, 0.9f}}});
   render::RenderConfig config{64, 64, 16, 0.5f, 0.98f};
@@ -230,7 +232,7 @@ TEST(RenderModes, ShadingPreservesLayoutTransparency) {
   Grid3D<float, ArrayOrderLayout> ga(e);
   data::fill_marschner_lobb(ga);
   const auto gz = core::convert_layout<ZOrderLayout>(ga);
-  threads::Pool pool(2);
+  exec::ExecutionContext pool(2);
   const auto tf = render::TransferFunction::grayscale(0.0f, 1.0f);
   render::RenderConfig config{32, 32, 16, 0.6f, 0.98f};
   config.shade = true;

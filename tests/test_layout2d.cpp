@@ -4,11 +4,13 @@
 #include <cmath>
 #include <vector>
 
+#include "sfcvis/exec/execution_context.hpp"
 #include "sfcvis/core/grid2d.hpp"
 #include "sfcvis/core/morton.hpp"
 #include "sfcvis/filters/bilateral2d.hpp"
 
 namespace core = sfcvis::core;
+namespace exec = sfcvis::exec;
 namespace filters = sfcvis::filters;
 namespace threads = sfcvis::threads;
 
@@ -123,7 +125,7 @@ TEST(Bilateral2D, IdentityOnConstantImage) {
   const Extents2D e{16, 16};
   Grid2D<float, ArrayOrderLayout2D> src(e), dst(e);
   src.fill_from([](auto, auto) { return 0.5f; });
-  threads::Pool pool(2);
+  exec::ExecutionContext pool(2);
   filters::bilateral2d_parallel(src, dst, {}, pool);
   dst.for_each_index([&](std::uint32_t i, std::uint32_t j) {
     ASSERT_NEAR(dst.at(i, j), 0.5f, 1e-6f);
@@ -136,7 +138,7 @@ TEST(Bilateral2D, LayoutAndPencilTransparent) {
   fill_noisy_edge(src);
   const auto src_z = core::convert_layout2d<ZOrderLayout2D>(src);
   const auto src_t = core::convert_layout2d<TiledLayout2D>(src);
-  threads::Pool pool(3);
+  exec::ExecutionContext pool(3);
   filters::Bilateral2DParams params{1, 1.5f, 0.15f, filters::PencilAxis::kX};
   filters::bilateral2d_parallel(src, expected, params, pool);
 
@@ -155,7 +157,7 @@ TEST(Bilateral2D, SmoothsNoiseAndKeepsEdge) {
   const Extents2D e{16, 16};
   Grid2D<float, ArrayOrderLayout2D> src(e), dst(e);
   fill_noisy_edge(src);
-  threads::Pool pool(2);
+  exec::ExecutionContext pool(2);
   filters::bilateral2d_parallel(src, dst, {2, 2.0f, 0.15f, filters::PencilAxis::kX}, pool);
   // Noise within the left region shrinks ...
   auto variance = [&](const auto& g) {

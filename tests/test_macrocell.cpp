@@ -8,6 +8,7 @@
 #include <limits>
 #include <vector>
 
+#include "sfcvis/exec/execution_context.hpp"
 #include "sfcvis/core/grid.hpp"
 #include "sfcvis/core/morton.hpp"
 #include "sfcvis/core/zquery.hpp"
@@ -20,6 +21,7 @@
 #include "sfcvis/threads/pool.hpp"
 
 namespace core = sfcvis::core;
+namespace exec = sfcvis::exec;
 namespace data = sfcvis::data;
 namespace memsim = sfcvis::memsim;
 namespace render = sfcvis::render;
@@ -189,7 +191,7 @@ TEST(Macrocell, MinMaxMatchesBruteForceZOrderGenericPath) {
 TEST(Macrocell, ParallelBuildMatchesSerial) {
   Grid3D<float, ZOrderLayout> g(Extents3D{32, 32, 32});
   fill_noise(g, 6);
-  threads::Pool pool(4);
+  exec::ExecutionContext pool(4);
   const MacrocellGrid serial = MacrocellGrid::build(g, 8);
   const MacrocellGrid parallel = MacrocellGrid::build(g, 8, &pool);
   const auto& c = serial.cell_extents();
@@ -327,7 +329,7 @@ void expect_accelerated_render_identical(RenderMode mode, bool shade) {
   Grid3D<float, L> volume(Extents3D{64, 64, 64});
   data::fill_combustion(volume);
   const TransferFunction tf = TransferFunction::flame();
-  threads::Pool pool(4);
+  exec::ExecutionContext pool(4);
 
   RenderConfig config;
   config.image_width = 96;
@@ -383,7 +385,7 @@ TEST(MacrocellRender, BlockSizesAgree) {
   Grid3D<float, ArrayOrderLayout> volume(Extents3D{48, 48, 48});
   data::fill_combustion(volume);
   const TransferFunction tf = TransferFunction::flame();
-  threads::Pool pool(4);
+  exec::ExecutionContext pool(4);
   RenderConfig config;
   config.image_width = 64;
   config.image_height = 64;
@@ -408,7 +410,7 @@ TEST(MacrocellRender, MipTakesSampleOnSpanShorterThanStep) {
   Grid3D<float, ArrayOrderLayout> volume(Extents3D{4, 4, 4});
   volume.fill_from([](std::uint32_t, std::uint32_t, std::uint32_t) { return 0.7f; });
   const TransferFunction tf = TransferFunction::grayscale(0.0f, 1.0f);
-  threads::Pool pool(2);
+  exec::ExecutionContext pool(2);
 
   RenderConfig config;
   config.image_width = 8;

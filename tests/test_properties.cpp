@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "sfcvis/exec/execution_context.hpp"
 #include "sfcvis/core/grid.hpp"
 #include "sfcvis/core/indexer.hpp"
 #include "sfcvis/core/layout.hpp"
@@ -16,6 +17,7 @@
 #include "sfcvis/render/raycast.hpp"
 
 namespace core = sfcvis::core;
+namespace exec = sfcvis::exec;
 namespace data = sfcvis::data;
 namespace filters = sfcvis::filters;
 namespace memsim = sfcvis::memsim;
@@ -184,7 +186,7 @@ TEST_P(RenderTileSweep, TileSizeNeverChangesPixels) {
   const Extents3D e = Extents3D::cube(16);
   core::Grid3D<float, core::ArrayOrderLayout> g(e);
   data::fill_combustion(g);
-  threads::Pool pool(3);
+  exec::ExecutionContext pool(3);
   const auto tf = render::TransferFunction::flame();
   const auto cam = render::orbit_camera(1, 8, 16, 16, 16);
   const render::RenderConfig reference_config{40, 40, 32, 0.6f, 0.98f};
@@ -213,7 +215,7 @@ TEST_P(BilateralThreadSweep, ThreadCountNeverChangesOutput) {
   const filters::BilateralParams params{2, 1.5f, 0.2f};
   filters::bilateral_reference(src, reference, params.radius, params.sigma_spatial,
                                params.sigma_range);
-  threads::Pool pool(nthreads);
+  exec::ExecutionContext pool(nthreads);
   filters::bilateral_parallel(src, got, params, pool);
   reference.for_each_index([&](std::uint32_t i, std::uint32_t j, std::uint32_t k) {
     ASSERT_NEAR(got.at(i, j, k), reference.at(i, j, k), 1e-5f);

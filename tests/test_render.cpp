@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "sfcvis/exec/execution_context.hpp"
 #include "sfcvis/data/combustion.hpp"
 #include "sfcvis/memsim/platforms.hpp"
 #include "sfcvis/render/camera.hpp"
@@ -13,6 +14,7 @@
 #include "sfcvis/render/transfer.hpp"
 
 namespace core = sfcvis::core;
+namespace exec = sfcvis::exec;
 namespace data = sfcvis::data;
 namespace memsim = sfcvis::memsim;
 namespace render = sfcvis::render;
@@ -305,7 +307,7 @@ double image_luminance(const Image& img) {
 TEST(Raycast, BallIsVisibleFromEveryOrbitViewpoint) {
   Grid3D<float, ArrayOrderLayout> g(Extents3D::cube(32));
   fill_ball(g);
-  threads::Pool pool(2);
+  exec::ExecutionContext pool(2);
   const RenderConfig config{64, 64, 32, 0.5f, 0.98f};
   const auto tf = opaque_white();
   for (unsigned v = 0; v < 8; ++v) {
@@ -326,7 +328,7 @@ TEST(Raycast, LayoutTransparencyPixelExact) {
   Grid3D<float, ArrayOrderLayout> ga(e);
   data::fill_combustion(ga);
   const auto gz = core::convert_layout<ZOrderLayout>(ga);
-  threads::Pool pool(2);
+  exec::ExecutionContext pool(2);
   const RenderConfig config{48, 48, 16, 0.6f, 0.98f};
   const auto tf = TransferFunction::flame();
   const auto cam = render::orbit_camera(3, 8, 24, 24, 24);
@@ -342,7 +344,7 @@ TEST(Raycast, TracedMatchesParallelImage) {
   const Extents3D e = Extents3D::cube(16);
   Grid3D<float, ArrayOrderLayout> g(e);
   fill_ball(g);
-  threads::Pool pool(2);
+  exec::ExecutionContext pool(2);
   const RenderConfig config{32, 32, 8, 0.7f, 0.98f};
   const auto tf = opaque_white();
   const auto cam = render::orbit_camera(1, 8, 16, 16, 16);
