@@ -1,0 +1,147 @@
+// Ablation G: explicit SIMD — ray packets and vector tap loops.
+//
+// Two kernels gained explicit-width SIMD paths (core/simd.hpp):
+//   * the raycaster traverses 4- or 8-ray packets per tile row
+//     (RenderConfig::packet_size, render/raycast_packet.hpp), masked
+//     sampling + compositing, bit-identical to the scalar path;
+//   * the bilateral gather fast path runs its range/spatial tap loops
+//     through vfloat batches (BilateralParams::simd_taps).
+//
+// This bench sweeps packet width x layout for the raycaster (composite +
+// shaded, macrocells on — the configuration the paper's volrend figures
+// use) and scalar-vs-simd taps for the bilateral filter, reporting wall
+// time and speedups. Sample counts ride along as a *deterministic* gated
+// table: the packet contract says the traversal evaluates exactly the
+// scalar sample set, so any count drift is a correctness bug, not noise.
+// Every packet image is also compared bit-for-bit against the scalar
+// render in-process.
+#include <cstring>
+
+#include "common.hpp"
+#include "sfcvis/core/simd.hpp"
+#include "sfcvis/filters/bilateral.hpp"
+#include "sfcvis/render/raycast.hpp"
+
+namespace {
+
+bool images_identical(const sfcvis::render::Image& a, const sfcvis::render::Image& b) {
+  const auto& pa = a.pixels();
+  const auto& pb = b.pixels();
+  return pa.size() == pb.size() &&
+         std::memcmp(pa.data(), pb.data(), pa.size() * sizeof(sfcvis::render::Rgba)) == 0;
+}
+
+std::uint64_t samples_total() {
+  const auto metrics = sfcvis::trace::Tracer::instance().metrics_snapshot();
+  return metrics.total("raycast.samples_taken");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sfcvis;
+  const bench_util::Options opts(argc, argv);
+  bench::TraceSession trace_session(opts);
+  const bool quick = opts.get_flag("quick");
+  const std::uint32_t size = opts.get_u32("size", quick ? 32 : 128);
+  const std::uint32_t image = opts.get_u32("image", quick ? 64 : 256);
+  const unsigned nthreads = opts.get_u32("threads", 4);
+  const unsigned reps = opts.get_u32("reps", quick ? 1 : 3);
+  const std::uint32_t radius = opts.get_u32("radius", 1);
+
+  const auto platform = memsim::ivybridge();
+  bench::print_preamble("Ablation G: explicit SIMD (ray packets + vector taps)", size,
+                        platform);
+  std::printf("simd: active ISA %s  |  image %ux%u  |  threads %u  |  reps (min-of) %u\n\n",
+              simd::active_isa(), image, image, nthreads, reps);
+
+  exec::ExecutionContext pool(nthreads);
+  const bench::VolumePair pair = bench::make_combustion_pair(size);
+  const render::TransferFunction tf = render::TransferFunction::flame();
+  const render::Camera camera = render::orbit_camera(
+      1, 8, static_cast<float>(size), static_cast<float>(size), static_cast<float>(size));
+
+  int failures = 0;
+  const std::vector<std::uint32_t> packets = {1, 4, 8};
+  const std::vector<std::string> packet_cols = {"scalar", "packet-4", "packet-8"};
+  const std::vector<std::string> layout_rows = {"a-order", "z-order"};
+
+  // --- Raycaster: packet width x layout -------------------------------
+  char title[96];
+  std::snprintf(title, sizeof(title), "raycast wall seconds, %u^3 shaded (min of %u)", size,
+                reps);
+  bench_util::ResultTable ray_ms(title, layout_rows, packet_cols);
+  std::snprintf(title, sizeof(title), "packet speedup over scalar, %u^3", size);
+  bench_util::ResultTable ray_speedup(title, layout_rows, {"packet-4", "packet-8"});
+  std::snprintf(title, sizeof(title), "samples taken (deterministic), %u^3", size);
+  bench_util::ResultTable ray_samples(title, layout_rows, packet_cols);
+
+  render::RenderConfig config;
+  config.image_width = image;
+  config.image_height = image;
+  config.mode = render::RenderMode::kComposite;
+  config.shade = true;
+  config.use_macrocells = true;
+
+  for (std::size_t row = 0; row < layout_rows.size(); ++row) {
+    const core::AnyVolume& volume = row == 0 ? pair.array : pair.z;
+    std::optional<render::Image> scalar_image;
+    for (std::size_t col = 0; col < packets.size(); ++col) {
+      config.packet_size = packets[col];
+      const std::uint64_t before = samples_total();
+      render::Image out = render::raycast_parallel(volume, camera, tf, config, pool,
+                                                   nullptr, /*collect_stats=*/true);
+      ray_samples.set(row, col, static_cast<double>(samples_total() - before));
+      const double secs = bench_util::min_time_of(reps, [&] {
+        out = render::raycast_parallel(volume, camera, tf, config, pool);
+      });
+      ray_ms.set(row, col, secs);
+      if (col == 0) {
+        scalar_image = std::move(out);
+      } else {
+        ray_speedup.set(row, col - 1, ray_ms.at(row, 0) / secs);
+        if (!images_identical(*scalar_image, out)) {
+          std::printf("FAIL: %s packet-%u image differs from scalar (bit-identity "
+                      "contract broken)\n",
+                      layout_rows[row].c_str(), packets[col]);
+          ++failures;
+        }
+      }
+    }
+  }
+  bench::emit_table(ray_ms, opts, "abl_simd_raycast_ms.csv", 4);
+  bench::emit_table(ray_speedup, opts, "abl_simd_raycast_speedup.csv", 2);
+  bench::emit_table(ray_samples, opts, "abl_simd_samples.csv", 0);
+
+  // --- Bilateral: scalar vs simd tap loops ----------------------------
+  std::snprintf(title, sizeof(title), "bilateral gather wall seconds, %u^3 r%u (min of %u)",
+                size, radius, reps);
+  bench_util::ResultTable bi_ms(title, layout_rows, {"scalar taps", "simd taps", "speedup"});
+  core::ArrayVolume dst(core::Extents3D::cube(size));
+  for (std::size_t row = 0; row < layout_rows.size(); ++row) {
+    const core::AnyVolume& volume = row == 0 ? pair.array : pair.z;
+    filters::BilateralParams params;
+    params.radius = radius;
+    params.use_gather = true;
+    params.simd_taps = false;
+    const double scalar = bench_util::min_time_of(
+        reps, [&] { filters::bilateral_parallel(volume, dst, params, pool); });
+    params.simd_taps = true;
+    const double simd = bench_util::min_time_of(
+        reps, [&] { filters::bilateral_parallel(volume, dst, params, pool); });
+    bi_ms.set(row, 0, scalar);
+    bi_ms.set(row, 1, simd);
+    bi_ms.set(row, 2, scalar / simd);
+  }
+  bench::emit_table(bi_ms, opts, "abl_simd_bilateral_ms.csv", 4);
+
+  if (failures != 0) {
+    std::printf("%d check(s) FAILED\n", failures);
+    return 1;
+  }
+  std::printf("reading: the speedup columns show the explicit-SIMD gain per layout; the\n"
+              "samples table must be constant across packet widths (the packet traversal\n"
+              "evaluates exactly the scalar sample set). Run with --report-out= to also\n"
+              "record the top-down slot breakdown for the whole sweep.\n");
+  return 0;
+}

@@ -13,6 +13,14 @@ TraceSession::TraceSession(std::string trace_out, std::string report_out, bool f
   if (active_) {
     current() = this;
     trace::Tracer::instance().enable();
+    perfmon::OpenFailure failure;
+    topdown_ = perfmon::TopDownCounters::open(&failure);
+    if (topdown_) {
+      topdown_source_ = "perf_events";
+      topdown_->start();
+    } else {
+      topdown_source_ = failure.message;
+    }
   }
 }
 
@@ -37,6 +45,13 @@ void TraceSession::finish() {
   const trace::TraceSnapshot snap = tracer.snapshot();
   const trace::MetricsSnapshot metrics = tracer.metrics_snapshot();
   tracer.disable();
+  trace::TopDownReport topdown;
+  topdown.source = topdown_source_;
+  if (topdown_) {
+    topdown.available = true;
+    topdown.reading = topdown_->stop();
+    topdown_.reset();
+  }
   if (!trace_out_.empty()) {
     if (trace::write_text_file(trace_out_, trace::chrome_trace_json(snap))) {
       std::printf("[trace] %s (%llu spans, %s)\n", trace_out_.c_str(),
@@ -47,7 +62,8 @@ void TraceSession::finish() {
     }
   }
   if (!report_out_.empty()) {
-    if (trace::write_text_file(report_out_, trace::run_report_json(snap, metrics, tables_))) {
+    if (trace::write_text_file(report_out_,
+                               trace::run_report_json(snap, metrics, tables_, &topdown))) {
       std::printf("[trace] %s (%zu tables)\n", report_out_.c_str(), tables_.size());
     } else {
       std::fprintf(stderr, "[trace] failed to write %s\n", report_out_.c_str());

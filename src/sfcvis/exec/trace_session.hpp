@@ -8,9 +8,11 @@
 // command-line-option plumbing.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "sfcvis/perfmon/perf_events.hpp"
 #include "sfcvis/trace/export.hpp"
 
 namespace sfcvis::exec {
@@ -41,6 +43,11 @@ class TraceSession {
   std::string report_out_;
   bool active_ = false;
   std::vector<trace::ReportTable> tables_;
+  /// Whole-run top-down counters, opened (inherit-enabled, so pool
+  /// workers spawned later are covered) while the session is active;
+  /// the open failure is reported in the run report otherwise.
+  std::optional<perfmon::TopDownCounters> topdown_;
+  std::string topdown_source_;
 };
 
 }  // namespace sfcvis::exec

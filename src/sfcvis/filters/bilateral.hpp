@@ -28,6 +28,7 @@
 
 #include "sfcvis/core/gather.hpp"
 #include "sfcvis/core/grid.hpp"
+#include "sfcvis/core/simd.hpp"
 #include "sfcvis/core/traced_view.hpp"
 #include "sfcvis/core/volume.hpp"
 #include "sfcvis/core/zquery.hpp"
@@ -64,6 +65,16 @@ struct BilateralParams {
   /// fast_exp on hardware without SIMD exp throughput; looser error bound
   /// (see BilateralWeights::build_range_lut).
   bool use_range_lut = false;
+  /// Gather path, fast_exp/LUT modes only: run the tap loops as explicit
+  /// SIMD over the scratch planes (core/simd.hpp — width simd::kNativeLanes,
+  /// masked tails, vector fast_exp_neg / LUT gathers) instead of relying on
+  /// autovectorization of the `#pragma omp simd` loops. Per-tap arithmetic
+  /// is unchanged; only the tap-sum accumulation order differs (lane-strided
+  /// partial sums reduced once per voxel), which stays well inside the fast
+  /// path's existing 1e-5 output tolerance. The exact mode ignores this knob
+  /// — its bit-identity contract requires the scalar loop. Off leaves the
+  /// autovectorized loops as the measured baseline (bench/abl_simd).
+  bool simd_taps = true;
 };
 
 /// Precomputed geometric weights for one stencil radius/sigma: the g(i,ibar)
@@ -118,6 +129,12 @@ class BilateralWeights {
   /// Upper end of the quantized u = diff^2/(2 sigma_r^2) domain; weights
   /// beyond it clamp to exp(-kRangeLutMaxU) ~ 1.1e-7.
   static constexpr float kRangeLutMaxU = 16.0f;
+
+  /// Raw LUT pieces for the explicit-SIMD tap loop (vector twin of
+  /// range_lut(): clamp, truncate, two gathers, lerp). Require has_range_lut().
+  [[nodiscard]] const float* range_lut_data() const noexcept { return range_lut_.data(); }
+  [[nodiscard]] float range_lut_u_scale() const noexcept { return lut_u_scale_; }
+  [[nodiscard]] float range_lut_max_x() const noexcept { return lut_max_x_; }
 
  private:
   unsigned radius_;
@@ -340,6 +357,62 @@ inline void fold_gather_run_stats(core::GatherRunStats& rs) {
   rs = core::GatherRunStats{};
 }
 
+/// Explicit-SIMD tap loops over one voxel's W ring planes (the vectorized
+/// twin of the `#pragma omp simd` loops in bilateral_pencil_gather). One
+/// vector accumulator pair is carried across all planes and reduced once;
+/// tails load via masked lanes whose weight slice reads exactly 0, so a
+/// masked lane contributes +0 to both sums — processing the tail wide is
+/// arithmetically identical to processing only the valid lanes. kLut
+/// selects the quantized-LUT photometric term (clamped before the index
+/// truncation, so masked-lane garbage can never gather out of bounds);
+/// otherwise the vector fast_exp_neg (lane-exact twin of the scalar one).
+template <bool kLut>
+[[nodiscard]] inline std::pair<float, float> simd_tap_planes(
+    const float* ring, const float* wperm, std::uint32_t t, std::uint32_t r,
+    std::uint32_t W, std::uint32_t plane_sz, float center, float inv2sr2,
+    const BilateralWeights& weights) {
+  constexpr int N = simd::kNativeLanes;
+  using VF = simd::vfloat<N>;
+  using VI = simd::vint<N>;
+  const VF v_center = VF::broadcast(center);
+  const VF v_inv2sr2 = VF::broadcast(inv2sr2);
+  const float* lut = kLut ? weights.range_lut_data() : nullptr;
+  const VF v_lut_scale = VF::broadcast(kLut ? weights.range_lut_u_scale() : 0.0f);
+  const VF v_lut_max = VF::broadcast(kLut ? weights.range_lut_max_x() : 0.0f);
+  VF v_sum = VF::zero();
+  VF v_norm = VF::zero();
+  const auto taps = [&](VF sample, VF wspatial) {
+    const VF d = sample - v_center;
+    VF w;
+    if constexpr (kLut) {
+      VF x = d * d * v_lut_scale;
+      x = select(gt(x, v_lut_max), v_lut_max, x);
+      const VI b = trunc_to_int(x);
+      const VF f = x - to_float(b);
+      const VF lo = gather(lut, b);
+      const VF hi = gather(lut, b + VI::broadcast(1));
+      w = wspatial * (lo + f * (hi - lo));
+    } else {
+      w = wspatial * simd::fast_exp_neg(d * d * v_inv2sr2);
+    }
+    v_sum = v_sum + w * sample;
+    v_norm = v_norm + w;
+  };
+  for (std::uint32_t dpi = 0; dpi < W; ++dpi) {
+    const float* plane = ring + ((t - r + dpi) % W) * plane_sz;
+    const float* wplane = wperm + dpi * plane_sz;
+    std::uint32_t q = 0;
+    for (; q + N <= plane_sz; q += N) {
+      taps(VF::loadu(plane + q), VF::loadu(wplane + q));
+    }
+    if (q < plane_sz) {
+      const int tail = static_cast<int>(plane_sz - q);
+      taps(VF::loadu_masked(plane + q, tail), VF::loadu_masked(wplane + q, tail));
+    }
+  }
+  return {simd::reduce_add(v_sum), simd::reduce_add(v_norm)};
+}
+
 }  // namespace detail
 
 /// Gather-based bilateral_pencil. Interior voxels of interior pencils take
@@ -415,6 +488,9 @@ void bilateral_pencil_gather(const core::Grid3D<float, L>& src, core::ArrayVolum
   const float inv2sr2 = 1.0f / (2.0f * params.sigma_range * params.sigma_range);
   const bool lut = params.use_range_lut && weights.has_range_lut();
   const bool fast = params.fast_exp && !lut;
+  // Explicit SIMD applies to the approximate modes only; the exact mode's
+  // bit-identity contract needs the scalar tap order below.
+  const bool simd_taps = params.simd_taps && (fast || lut);
   const float* ring = scratch.ring.data();
   const float* wperm = scratch.wperm.data();
   for (std::uint32_t t = r; t < len - r; ++t) {
@@ -422,6 +498,16 @@ void bilateral_pencil_gather(const core::Grid3D<float, L>& src, core::ArrayVolum
       gather_plane(t + r);
     }
     const float center = ring[(t % W) * plane_sz + r * W + r];
+    if (simd_taps) {
+      const auto [sum, norm] =
+          lut ? detail::simd_tap_planes<true>(ring, wperm, t, r, W, plane_sz,
+                                              center, inv2sr2, weights)
+              : detail::simd_tap_planes<false>(ring, wperm, t, r, W, plane_sz,
+                                               center, inv2sr2, weights);
+      const core::Coord3D v{v0.i + t * di, v0.j + t * dj, v0.k + t * dk};
+      dst.at(v.i, v.j, v.k) = sum / norm;
+      continue;
+    }
     float sum = 0.0f;
     float norm = 0.0f;
     // One flat loop per plane: scratch planes and their weight slices are

@@ -14,7 +14,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "sfcvis/core/gather.hpp"
 #include "sfcvis/core/grid.hpp"
+#include "sfcvis/core/simd.hpp"
 #include "sfcvis/core/traced_view.hpp"
 #include "sfcvis/core/volume.hpp"
 #include "sfcvis/exec/execution_context.hpp"
@@ -46,14 +48,126 @@ template <core::ReadView3D View>
   return sum;
 }
 
-/// Parallel dense Gaussian convolution over x-pencils.
+/// Per-worker scratch of the Gaussian gather fast path — same ring idea as
+/// BilateralGatherScratch: the footprint of an advancing x-pencil changes
+/// by one (2r+1)^2 plane per voxel, so W = 2r+1 dense scratch planes plus a
+/// pre-multiplied weight cube turn the W^3 layout lookups per voxel into
+/// one W^2 plane gather and a dense multiply-accumulate.
+struct GaussianGatherScratch {
+  void prepare(const std::vector<float>& taps) {
+    width = static_cast<std::uint32_t>(taps.size());
+    plane_size = width * width;
+    ring.assign(static_cast<std::size_t>(width) * plane_size, 0.0f);
+    wperm.resize(static_cast<std::size_t>(width) * plane_size);
+    // [dp][du][dv] = taps[dp] * taps[du] * taps[dv], matching the ring's
+    // plane-major sample order (dp = dx plane, du = dy row, dv = dz column).
+    std::size_t q = 0;
+    for (std::uint32_t dp = 0; dp < width; ++dp) {
+      for (std::uint32_t du = 0; du < width; ++du) {
+        for (std::uint32_t dv = 0; dv < width; ++dv) {
+          wperm[q++] = taps[dp] * taps[du] * taps[dv];
+        }
+      }
+    }
+  }
+  std::uint32_t width = 0;       ///< W = 2r + 1
+  std::uint32_t plane_size = 0;  ///< W * W
+  std::vector<float> ring;       ///< W planes of W*W samples, slot = s % W
+  std::vector<float> wperm;      ///< pre-multiplied 3D tap weights
+};
+
+/// Gather-based convolution of one x-pencil: interior voxels run an
+/// explicit-SIMD multiply-accumulate over the ring planes (core/simd.hpp,
+/// masked tails contribute exactly +0 because the weight slice reads 0);
+/// border voxels — and whole pencils without a full (y, z) stencil — fall
+/// back to the clamped gaussian_voxel. Differs from the direct path only
+/// by float reassociation of the tap sum and of the precomputed weight
+/// products (well inside the kernels' 1e-5 test tolerance); the per-pencil
+/// result does not depend on the source layout.
+template <core::Layout3D L>
+void gaussian_pencil_gather(const core::Grid3D<float, L>& src, core::ArrayVolume& dst,
+                            const std::vector<float>& taps, std::size_t p,
+                            GaussianGatherScratch& scratch) {
+  const auto& e = src.extents();
+  const auto j = static_cast<std::uint32_t>(p % e.ny);
+  const auto k = static_cast<std::uint32_t>(p / e.ny);
+  const core::PlainView<float, L> view(src);
+  const auto r = static_cast<std::uint32_t>(taps.size() / 2);
+  const std::uint32_t W = scratch.width;
+  const std::uint32_t plane_sz = scratch.plane_size;
+  if (j < r || j + r >= e.ny || k < r || k + r >= e.nz || e.nx <= 2 * r) {
+    for (std::uint32_t i = 0; i < e.nx; ++i) {
+      dst.at(i, j, k) = gaussian_voxel(view, i, j, k, taps);
+    }
+    return;
+  }
+  for (std::uint32_t i = 0; i < r; ++i) {
+    dst.at(i, j, k) = gaussian_voxel(view, i, j, k, taps);
+  }
+  const auto gather_plane = [&](std::uint32_t s) {
+    float* plane = scratch.ring.data() + (s % W) * plane_sz;
+    for (std::uint32_t du = 0; du < W; ++du) {
+      core::gather_row(src, core::Axis3::kZ, s, j - r + du, k - r, W,
+                       plane + du * W, nullptr);
+    }
+  };
+  for (std::uint32_t s = 0; s <= 2 * r; ++s) {
+    gather_plane(s);
+  }
+  constexpr int N = simd::kNativeLanes;
+  using VF = simd::vfloat<N>;
+  const float* ring = scratch.ring.data();
+  const float* wperm = scratch.wperm.data();
+  for (std::uint32_t t = r; t < e.nx - r; ++t) {
+    if (t > r) {
+      gather_plane(t + r);
+    }
+    VF v_sum = VF::zero();
+    for (std::uint32_t dpi = 0; dpi < W; ++dpi) {
+      const float* plane = ring + ((t - r + dpi) % W) * plane_sz;
+      const float* wplane = wperm + dpi * plane_sz;
+      std::uint32_t q = 0;
+      for (; q + N <= plane_sz; q += N) {
+        v_sum = v_sum + VF::loadu(wplane + q) * VF::loadu(plane + q);
+      }
+      if (q < plane_sz) {
+        const int tail = static_cast<int>(plane_sz - q);
+        v_sum = v_sum + VF::loadu_masked(wplane + q, tail) *
+                            VF::loadu_masked(plane + q, tail);
+      }
+    }
+    dst.at(t, j, k) = simd::reduce_add(v_sum);
+  }
+  for (std::uint32_t i = e.nx - r; i < e.nx; ++i) {
+    dst.at(i, j, k) = gaussian_voxel(view, i, j, k, taps);
+  }
+}
+
+/// Parallel dense Gaussian convolution over x-pencils. With use_gather the
+/// pencils run the sliding-window gather + explicit-SIMD fast path on
+/// per-worker scratch (bench/abl_simd quantifies the speedup); off keeps
+/// the per-voxel access stream the layout study measures.
 template <core::Layout3D L>
 void gaussian_convolve(const core::Grid3D<float, L>& src, core::ArrayVolume& dst,
-                       unsigned radius, float sigma, exec::ExecutionContext& ctx) {
+                       unsigned radius, float sigma, exec::ExecutionContext& ctx,
+                       bool use_gather = false) {
   const auto taps = gaussian_kernel_1d(radius, sigma);
   const core::PlainView<float, L> view(src);
   const auto& e = src.extents();
   const std::size_t pencils = static_cast<std::size_t>(e.ny) * e.nz;
+  if (use_gather) {
+    ctx.parallel_static_state(
+        pencils,
+        [&](unsigned) {
+          GaussianGatherScratch scratch;
+          scratch.prepare(taps);
+          return scratch;
+        },
+        [&](GaussianGatherScratch& scratch, std::size_t p, unsigned) {
+          gaussian_pencil_gather(src, dst, taps, p, scratch);
+        });
+    return;
+  }
   ctx.parallel_static(pencils, [&](std::size_t p, unsigned) {
     const auto j = static_cast<std::uint32_t>(p % e.ny);
     const auto k = static_cast<std::uint32_t>(p / e.ny);
@@ -65,8 +179,11 @@ void gaussian_convolve(const core::Grid3D<float, L>& src, core::ArrayVolume& dst
 
 /// Facade driver: dispatches on the source volume's runtime layout.
 inline void gaussian_convolve(const core::AnyVolume& src, core::ArrayVolume& dst,
-                              unsigned radius, float sigma, exec::ExecutionContext& ctx) {
-  src.visit([&](const auto& grid) { gaussian_convolve(grid, dst, radius, sigma, ctx); });
+                              unsigned radius, float sigma, exec::ExecutionContext& ctx,
+                              bool use_gather = false) {
+  src.visit([&](const auto& grid) {
+    gaussian_convolve(grid, dst, radius, sigma, ctx, use_gather);
+  });
 }
 
 /// Serial three-pass separable Gaussian (array-order only); numerically

@@ -2,8 +2,17 @@
 
 #include <algorithm>
 #include <limits>
+#include <stdexcept>
+#include <string>
 
 namespace sfcvis::render {
+
+void validate_packet_size(std::uint32_t packet_size) {
+  if (packet_size != 1 && packet_size != 4 && packet_size != 8) {
+    throw std::invalid_argument("RenderConfig::packet_size must be 1, 4 or 8 (got " +
+                                std::to_string(packet_size) + ")");
+  }
+}
 
 std::optional<std::pair<float, float>> intersect_box(const Ray& ray, Vec3 lo,
                                                      Vec3 hi) noexcept {
@@ -34,5 +43,26 @@ std::optional<std::pair<float, float>> intersect_box(const Ray& ray, Vec3 lo,
   }
   return std::make_pair(t0, t1);
 }
+
+namespace detail {
+
+// Out of line on purpose — see the header: one compiled body means the
+// scalar and packet traversals see identical FP-contraction choices.
+float sample_param(float t_enter, std::uint64_t n, float step) noexcept {
+  return t_enter + static_cast<float>(n) * step;
+}
+
+Vec3 sample_position(const Ray& ray, float t) noexcept { return ray.at(t); }
+
+float headlight_scale(const Vec3& normal, const Vec3& dir, float ambient) noexcept {
+  const float len = length(normal);
+  if (len <= 1e-6f) {
+    return 1.0f;
+  }
+  const float diffuse = std::abs(dot(normal, dir)) / len;
+  return ambient + (1.0f - ambient) * diffuse;
+}
+
+}  // namespace detail
 
 }  // namespace sfcvis::render

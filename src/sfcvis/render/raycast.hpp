@@ -69,7 +69,17 @@ struct RenderConfig {
   /// keep their exact access streams; images are identical either way.
   bool use_macrocells = false;
   std::uint32_t macrocell_size = 8;  ///< macrocell edge length, in voxels
+  /// Rays traversed together per tile row: 1 (scalar trace_ray), 4 or 8
+  /// (explicit-SIMD packets, see raycast_packet.hpp). Packet renders are
+  /// bit-identical to scalar ones — per-lane control flow and sample
+  /// positions use the scalar expressions, only the reconstruction /
+  /// compositing arithmetic is packed (verify/ fuzzes the equivalence).
+  /// Other values throw std::invalid_argument from the render drivers.
+  std::uint32_t packet_size = 1;
 };
+
+/// Throws std::invalid_argument unless `packet_size` is 1, 4 or 8.
+void validate_packet_size(std::uint32_t packet_size);
 
 /// Per-ray traversal statistics (skip-rate accounting; plain counters so
 /// the hot path stays atomic-free). The parallel drivers keep one of
@@ -187,6 +197,23 @@ namespace detail {
   return m;
 }
 
+/// Parameter and world position of sample n, compiled exactly once (out
+/// of line in raycast.cpp): with -ffp-contract=fast the compiler may fuse
+/// t_enter + n*step (and ray.at's origin + dir*t) into an FMA in one
+/// inlining context and not in another, and the scalar and packet
+/// traversals must agree bitwise on where a ray samples. One definition
+/// means one contraction choice for every caller.
+[[nodiscard]] float sample_param(float t_enter, std::uint64_t n, float step) noexcept;
+[[nodiscard]] Vec3 sample_position(const Ray& ray, float t) noexcept;
+
+/// Headlight-Lambertian color scale for a shading normal: ambient +
+/// (1 - ambient) * |cos|, or exactly 1.0f for degenerate normals (a
+/// multiply by 1.0f is a bitwise no-op, so callers can apply it
+/// unconditionally). Out of line for the same contraction-determinism
+/// reason as sample_param.
+[[nodiscard]] float headlight_scale(const Vec3& normal, const Vec3& dir,
+                                    float ambient) noexcept;
+
 }  // namespace detail
 
 /// Casts one ray. kComposite: classify each sample with the transfer
@@ -217,9 +244,9 @@ template <core::ReadView3D View>
   const float t_exit = span->second;
   const float step = config.step;
   // Sample n lies at t_enter + n*step — the same expression on every path,
-  // which is what makes dense and macrocell renders bit-identical.
+  // which is what makes dense, macrocell and packet renders bit-identical.
   const auto t_of = [&](std::uint64_t n) {
-    return t_enter + static_cast<float>(n) * step;
+    return detail::sample_param(t_enter, n, step);
   };
 
   if (config.mode == RenderMode::kMip) {
@@ -231,7 +258,7 @@ template <core::ReadView3D View>
         if (t > t_exit) {
           break;
         }
-        peak = std::max(peak, sample_trilinear(view, ray.at(t)));
+        peak = std::max(peak, sample_trilinear(view, detail::sample_position(ray, t)));
         if (stats != nullptr) {
           ++stats->samples_taken;
         }
@@ -244,7 +271,7 @@ template <core::ReadView3D View>
         if (n != 0 && t > t_exit) {
           break;
         }
-        const CellCoord c = cells->cell_of(ray.at(t));
+        const CellCoord c = cells->cell_of(detail::sample_position(ray, t));
         const float exit = std::min(cells->cell_exit(ray.origin, inv_dir, c), t_exit);
         if (stats != nullptr) {
           ++stats->cells_visited;
@@ -260,7 +287,7 @@ template <core::ReadView3D View>
           n = next;
         } else {
           do {
-            peak = std::max(peak, sample_trilinear(view, ray.at(t_of(n))));
+            peak = std::max(peak, sample_trilinear(view, detail::sample_position(ray, t_of(n))));
             if (stats != nullptr) {
               ++stats->samples_taken;
             }
@@ -279,20 +306,16 @@ template <core::ReadView3D View>
 
   // Front-to-back compositing. Returns false once early termination hits.
   const auto composite_sample = [&](float t) {
-    const Vec3 position = ray.at(t);
+    const Vec3 position = detail::sample_position(ray, t);
     const float value = sample_trilinear(view, position);
     Rgba sample = tf.sample(value);
     if (config.shade && sample.a > 0.0f) {
+      // Headlight Lambertian: light arrives along the viewing ray.
       const Vec3 normal = gradient_trilinear(view, position);
-      const float len = length(normal);
-      if (len > 1e-6f) {
-        // Headlight Lambertian: light arrives along the viewing ray.
-        const float diffuse = std::abs(dot(normal, ray.dir)) / len;
-        const float lit = config.ambient + (1.0f - config.ambient) * diffuse;
-        sample.r *= lit;
-        sample.g *= lit;
-        sample.b *= lit;
-      }
+      const float lit = detail::headlight_scale(normal, ray.dir, config.ambient);
+      sample.r *= lit;
+      sample.g *= lit;
+      sample.b *= lit;
     }
     // Opacity correction: transfer-function alphas are per unit length.
     sample.a = 1.0f - std::pow(1.0f - sample.a, step);
@@ -324,7 +347,7 @@ template <core::ReadView3D View>
     if (t > t_exit) {
       break;
     }
-    const CellCoord c = cells->cell_of(ray.at(t));
+    const CellCoord c = cells->cell_of(detail::sample_position(ray, t));
     const float exit = std::min(cells->cell_exit(ray.origin, inv_dir, c), t_exit);
     if (stats != nullptr) {
       ++stats->cells_visited;
@@ -356,12 +379,31 @@ template <core::ReadView3D View>
   return out;
 }
 
+}  // namespace sfcvis::render
+
+// Internal: packet traversal built on trace_ray's helpers (must follow
+// trace_ray — the remainder pixels of a packet row reuse it).
+#include "sfcvis/render/raycast_packet.hpp"  // IWYU pragma: keep
+
+namespace sfcvis::render {
+
 /// Renders one image tile, accumulating per-ray stats into `stats` (a
 /// tile-local struct on the caller's stack — never shared across threads).
+/// config.packet_size routes rows through the K-wide packet traversal.
 template <core::ReadView3D View>
 void render_tile(const View& view, const Camera& camera, const TransferFunction& tf,
                  const RenderConfig& config, Image& image, const Tile& tile,
                  const MacrocellGrid* cells = nullptr, RayStats* stats = nullptr) {
+  if (config.packet_size == 4) {
+    packet_detail::render_tile_packets<4>(view, camera, tf, config, image, tile, cells,
+                                          stats);
+    return;
+  }
+  if (config.packet_size == 8) {
+    packet_detail::render_tile_packets<8>(view, camera, tf, config, image, tile, cells,
+                                          stats);
+    return;
+  }
   for (std::uint32_t y = tile.y0; y < tile.y1; ++y) {
     for (std::uint32_t x = tile.x0; x < tile.x1; ++x) {
       const Ray ray = camera.ray_for_pixel(x, y, image.width(), image.height());
@@ -404,6 +446,7 @@ template <core::Layout3D L>
                                      const RenderConfig& config, exec::ExecutionContext& ctx,
                                      const MacrocellGrid* cells = nullptr,
                                      bool collect_stats = false) {
+  validate_packet_size(config.packet_size);
   Image image(config.image_width, config.image_height);
   const core::PlainView<float, L> view(volume);
   std::shared_ptr<const MacrocellGrid> cached_cells;
@@ -462,6 +505,7 @@ template <core::Layout3D L>
                                    std::size_t max_items = SIZE_MAX,
                                    const MacrocellGrid* cells = nullptr,
                                    bool collect_stats = false) {
+  validate_packet_size(config.packet_size);
   Image image(config.image_width, config.image_height);
   MacrocellGrid local_cells;
   const MacrocellGrid* use_cells = nullptr;

@@ -122,7 +122,8 @@ std::string chrome_trace_json(const TraceSnapshot& snap) {
 }
 
 std::string run_report_json(const TraceSnapshot& snap, const MetricsSnapshot& metrics,
-                            const std::vector<ReportTable>& tables) {
+                            const std::vector<ReportTable>& tables,
+                            const TopDownReport* topdown) {
   // Aggregate spans into phases (ordered by name, then tag, for a stable
   // report) and sum depth-0 deltas: nested spans are contained in their
   // parents, so only top-level spans sum to the whole-run totals.
@@ -178,6 +179,43 @@ std::string run_report_json(const TraceSnapshot& snap, const MetricsSnapshot& me
   w.value(snap.hw_counters);
   w.key("source");
   w.value(snap.counter_source);
+  w.end_object();
+
+  // Top-down slot breakdown — always present; unavailable runs record why
+  // (the reported-fallback idiom), so consumers can rely on the key.
+  w.key("topdown");
+  w.begin_object();
+  w.key("available");
+  w.value(topdown != nullptr && topdown->available);
+  w.key("source");
+  w.value(topdown == nullptr ? "top-down counters not requested by this run"
+                             : topdown->source);
+  if (topdown != nullptr && topdown->available) {
+    const auto& r = topdown->reading;
+    w.key("cycles");
+    w.value(r.cycles);
+    w.key("instructions");
+    w.value(r.instructions);
+    w.key("has_stalls");
+    w.value(r.has_stalls);
+    if (r.has_stalls) {
+      w.key("stalled_cycles_frontend");
+      w.value(r.stalled_frontend);
+      w.key("stalled_cycles_backend");
+      w.value(r.stalled_backend);
+    }
+    const perfmon::TopDownRatios ratios = perfmon::topdown_ratios(r);
+    w.key("retiring");
+    w.value(ratios.retiring, 4);
+    if (ratios.complete) {
+      w.key("frontend_bound");
+      w.value(ratios.frontend_bound, 4);
+      w.key("backend_bound");
+      w.value(ratios.backend_bound, 4);
+      w.key("bad_speculation");
+      w.value(ratios.bad_speculation, 4);
+    }
+  }
   w.end_object();
 
   // Whole-enabled-window totals summed across threads (null without hw).

@@ -31,16 +31,28 @@ struct ReportTable {
   std::vector<std::vector<double>> cells;  ///< [row][col]
 };
 
+/// Whole-run top-down microarchitecture result for the run report. The
+/// report always carries a "topdown" section; when the counters could not
+/// be opened `available` is false and `source` names the reason (the
+/// reported-fallback idiom — absence is a recorded fact, never silence).
+struct TopDownReport {
+  bool available = false;
+  std::string source;  ///< "perf_events" or the open-failure explanation
+  perfmon::TopDownReading reading{};
+};
+
 /// Chrome trace-event JSON (Perfetto-loadable). Spans become "X" events;
 /// threads are named via "M" metadata events ("worker N" or "thread N").
 [[nodiscard]] std::string chrome_trace_json(const TraceSnapshot& snap);
 
 /// The run report: versioned JSON with hw-counter provenance, per-phase
 /// aggregates (phase = span name + tag), per-thread values, the metrics
-/// registry, and `tables`.
+/// registry, `tables`, and the top-down slot breakdown (`topdown` may be
+/// null — the section is then emitted as unavailable).
 [[nodiscard]] std::string run_report_json(const TraceSnapshot& snap,
                                           const MetricsSnapshot& metrics,
-                                          const std::vector<ReportTable>& tables = {});
+                                          const std::vector<ReportTable>& tables = {},
+                                          const TopDownReport* topdown = nullptr);
 
 /// Writes `contents` to `path`; false (with intact errno) on failure.
 bool write_text_file(const std::string& path, std::string_view contents);

@@ -211,6 +211,7 @@ filters::BilateralParams draw_bilateral(SplitMix64& rng, bool quick) {
   p.use_gather = rng.chance(60);
   p.fast_exp = rng.chance(50);
   p.use_range_lut = rng.chance(40);
+  p.simd_taps = rng.chance(50);
   return p;
 }
 
@@ -258,6 +259,9 @@ std::string bilateral_label(const filters::BilateralParams& p) {
     } else if (p.fast_exp) {
       out << "+fastexp";
     }
+    if (p.simd_taps && (p.fast_exp || p.use_range_lut)) {
+      out << "+simd";
+    }
   }
   return out.str();
 }
@@ -290,6 +294,20 @@ void fuzz_bilateral(FuzzSummary& summary, const VolumeSet& vols, SplitMix64& rng
                                  p.sigma_spatial, p.sigma_range);
     record(summary, compare_grids(reference, oracle, bilateral_tier(p),
                                   label + " [vs serial reference]"));
+
+    if (p.use_gather && (p.fast_exp || p.use_range_lut)) {
+      // SIMD tap loops against their scalar twins: identical weights and
+      // taps, vector partial sums — reassociation only, so a tight ulp
+      // tier rather than the looser approximation tiers above.
+      filters::BilateralParams scalar_p = p;
+      scalar_p.simd_taps = false;
+      filters::BilateralParams simd_p = p;
+      simd_p.simd_taps = true;
+      record(summary,
+             compare_grids(run_bilateral(vols.array, scalar_p, pool),
+                           run_bilateral(vols.array, simd_p, pool), Tolerance::ulps(32),
+                           label + " [simd vs scalar taps]"));
+    }
   }
 
   if (rng.chance(40)) {
@@ -394,6 +412,27 @@ void fuzz_raycast(FuzzSummary& summary, const VolumeSet& vols, SplitMix64& rng,
   record(summary, compare_images(base, render::raycast_parallel(vols.zorder, camera, tf, cfg, pool),
                                  Tolerance::bit_identical(),
                                  label.str() + " [macrocells on vs off, z-order]"));
+
+  // Ray packets must reproduce the scalar traversal bit-for-bit in every
+  // mode drawn above (composite/MIP, shaded or not): per-lane control flow
+  // and sample positions reuse the scalar expressions (raycast_packet.hpp),
+  // so any divergence — dense or through the macrocell DDA — is a bug.
+  for (const std::uint32_t packet : {4u, 8u}) {
+    cfg.packet_size = packet;
+    std::ostringstream plabel;
+    plabel << label.str() << " packet" << packet;
+    cfg.use_macrocells = false;
+    record(summary,
+           compare_images(base, render::raycast_parallel(vols.array, camera, tf, cfg, pool),
+                          Tolerance::bit_identical(), plabel.str() + " [dense, array]"));
+    record(summary,
+           compare_images(base, render::raycast_parallel(vols.hilbert, camera, tf, cfg, pool),
+                          Tolerance::bit_identical(), plabel.str() + " [dense, hilbert]"));
+    cfg.use_macrocells = true;
+    record(summary,
+           compare_images(base, render::raycast_parallel(vols.zorder, camera, tf, cfg, pool),
+                          Tolerance::bit_identical(), plabel.str() + " [macrocell, z-order]"));
+  }
 }
 
 }  // namespace
@@ -516,8 +555,12 @@ FuzzSummary run_metamorphic_case(std::uint64_t seed, const FuzzOptions& opts) {
 
   // Macrocell skipping must be an identity at every orbit viewpoint — the
   // skip geometry changes with the view direction, the image must not.
+  // Half the seeds run this loop through the packet raycaster, so the
+  // identity is also exercised lane-desynchronized.
   cfg.shade = rng.chance(30);
   cfg.macrocell_size = rng.chance(50) ? 4u : 8u;
+  cfg.packet_size = rng.chance(50) ? (rng.chance(50) ? 4u : 8u) : 1u;
+  desc << " packet=" << cfg.packet_size;
   const auto zvolume = core::convert_layout<ZOrderLayout>(volume);
   for (unsigned vp = 0; vp < 8; ++vp) {
     const render::Camera camera = render::orbit_camera(

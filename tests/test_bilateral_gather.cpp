@@ -4,6 +4,7 @@
 // volume shapes where every driver must fall back to the clamped kernel.
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
 #include <cstdint>
 #include <vector>
@@ -12,11 +13,13 @@
 #include "sfcvis/data/phantom.hpp"
 #include "sfcvis/filters/bilateral.hpp"
 #include "sfcvis/filters/fastmath.hpp"
+#include "sfcvis/verify/diff.hpp"
 
 namespace core = sfcvis::core;
 namespace exec = sfcvis::exec;
 namespace data = sfcvis::data;
 namespace filters = sfcvis::filters;
+namespace verify = sfcvis::verify;
 namespace threads = sfcvis::threads;
 
 using core::ArrayOrderLayout;
@@ -87,6 +90,37 @@ TEST(FastExp, MatchesExpWithinRelativeBound) {
 }
 
 TEST(FastExp, ZeroIsExactlyOne) { EXPECT_EQ(filters::fast_exp_neg(0.0f), 1.0f); }
+
+TEST(FastExp, MaxUlpPinnedOverOperatingRange) {
+  // Pins the worst-case ulp distance from the correctly-rounded exp(-u)
+  // over u in [0, 16] — past that exp(-u) < 1.2e-7 and every range weight
+  // is noise. A stride-7 sweep of ALL representable floats in the range
+  // measured max 15 ulp (at u ~ 13.86); the pin leaves headroom for the
+  // unswept neighbours but must catch any coefficient or argument-
+  // reduction regression, which shows up hundreds of ulps away. The test
+  // walks the same bit-space at a coarser prime stride plus a dense
+  // window around the measured worst case.
+  constexpr std::uint64_t kMaxUlp = 24;
+  const auto check_bits = [](std::uint32_t bits, std::uint64_t& worst) {
+    const float u = std::bit_cast<float>(bits);
+    const float approx = filters::fast_exp_neg(u);
+    const auto exact = static_cast<float>(std::exp(-static_cast<double>(u)));
+    const std::uint64_t d = verify::ulp_distance(approx, exact);
+    worst = d > worst ? d : worst;
+  };
+  std::uint64_t worst = 0;
+  const auto lo = std::bit_cast<std::uint32_t>(0.0f);
+  const auto hi = std::bit_cast<std::uint32_t>(16.0f);
+  for (std::uint32_t bits = lo; bits <= hi; bits += 641) {
+    check_bits(bits, worst);
+  }
+  for (std::uint32_t bits = std::bit_cast<std::uint32_t>(13.5f);
+       bits <= std::bit_cast<std::uint32_t>(14.25f); ++bits) {
+    check_bits(bits, worst);
+  }
+  EXPECT_LE(worst, kMaxUlp) << "fast_exp_neg drifted from its pinned accuracy";
+  EXPECT_GE(worst, 4u) << "measured error implausibly small; is the sweep running?";
+}
 
 TEST(FastExp, HugeInputUnderflowsGracefully) {
   // Beyond the clamp knee the result saturates near 2^-125 instead of

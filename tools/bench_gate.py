@@ -15,7 +15,11 @@ Tables are collected from each bench's CSV output by default; with
 --from-report they are read from the machine-readable run-report JSON
 instead (the bench runs with --report-out=, see bench/common.hpp and
 src/sfcvis/trace/export.hpp). Both sources carry the same cells, so the
-two modes gate identically against the same baseline.
+two modes gate identically against the same baseline. --from-report also
+picks up each run's whole-run top-down slot breakdown and gates the
+retiring fraction (direction: higher): a drop past the threshold vs the
+baseline fails. The gate only fires when a PMU was live in *both* runs —
+missing counters (VMs without vPMU) downgrade to an advisory skip.
 
 Usage:
   tools/bench_gate.py [--build-dir=build] [--threshold=0.15]
@@ -58,6 +62,19 @@ BENCHES = [
             "abl_empty_speedup.csv": "advisory",
         },
     },
+    {
+        "binary": "abl_simd",
+        "args": ["--quick"],
+        "tables": {
+            # Sample counts are deterministic by the packet bit-identity
+            # contract; any growth means the traversal stopped matching the
+            # scalar sample set.
+            "abl_simd_samples.csv": "lower",
+            "abl_simd_raycast_ms.csv": "advisory",
+            "abl_simd_raycast_speedup.csv": "advisory",
+            "abl_simd_bilateral_ms.csv": "advisory",
+        },
+    },
 ]
 
 # Baseline cells with magnitude below this are compared absolutely (a
@@ -89,23 +106,34 @@ def git_sha(repo_root):
 
 
 def read_report_tables(path):
-    """Reads run-report JSON tables, keyed like their CSV twins."""
+    """Reads run-report JSON tables, keyed like their CSV twins.
+
+    Returns (tables, topdown): the result tables plus the report's
+    top-down microarchitecture section (always present; available=False
+    with a reason when the PMU could not be opened).
+    """
     with open(path, "r", encoding="utf-8") as f:
         doc = json.load(f)
     if "sfcvis_run_report" not in doc:
         print(f"error: {path} is not a run report", file=sys.stderr)
         sys.exit(2)
-    return {
+    tables = {
         t["name"] + ".csv": {"cols": t["cols"], "rows": t["rows"],
                              "cells": t["cells"]}
         for t in doc.get("tables", [])
     }
+    return tables, doc.get("topdown")
 
 
 def run_benches(build_dir, from_report=False):
-    """Runs every bench, collecting its tables via CSV or run report."""
+    """Runs every bench, collecting its tables via CSV or run report.
+
+    Returns (tables, directions, topdowns); topdowns maps bench binary ->
+    its run report's top-down section (only populated with --from-report).
+    """
     tables = {}
     directions = {}
+    topdowns = {}
     with tempfile.TemporaryDirectory(prefix="bench_gate_") as work_dir:
         for bench in BENCHES:
             binary = os.path.join(build_dir, "bench", bench["binary"])
@@ -126,7 +154,11 @@ def run_benches(build_dir, from_report=False):
                 print(f"error: {bench['binary']} exited {proc.returncode}",
                       file=sys.stderr)
                 sys.exit(2)
-            found = read_report_tables(report) if from_report else None
+            found = None
+            if from_report:
+                found, topdown = read_report_tables(report)
+                if topdown is not None:
+                    topdowns[bench["binary"]] = topdown
             for name, direction in bench["tables"].items():
                 if from_report:
                     if name not in found:
@@ -142,7 +174,44 @@ def run_benches(build_dir, from_report=False):
                         sys.exit(2)
                     tables[name] = read_csv_table(path)
                 directions[name] = direction
-    return tables, directions
+    return tables, directions, topdowns
+
+
+def compare_topdown(baseline, topdowns, threshold):
+    """Gates the whole-run retiring fraction (direction: higher is better).
+
+    The gate only fires when both the baseline and the current run carry an
+    *available* top-down section (a PMU was live in both); every other
+    combination is an advisory skip — absence of counters must never fail
+    CI, but a measured drop in retired-slot fraction beyond the threshold
+    means the new code spends more pipeline slots on stalls or wasted
+    speculation for the same work.
+    """
+    regressions, advisories = [], []
+    base_tds = baseline.get("topdown", {})
+    for binary, td in sorted(topdowns.items()):
+        base = base_tds.get(binary)
+        if not td.get("available"):
+            advisories.append(
+                f"topdown[{binary}]: unavailable this run "
+                f"({td.get('source', '?')}); retiring gate skipped")
+            continue
+        if not base or not base.get("available"):
+            advisories.append(
+                f"topdown[{binary}]: no available baseline; retiring gate skipped")
+            continue
+        b, v = base["retiring"], td["retiring"]
+        if b <= 0.0:
+            advisories.append(
+                f"topdown[{binary}]: baseline retiring is 0; gate skipped")
+            continue
+        rel = (v - b) / b
+        desc = f"topdown[{binary}]: retiring {b:.4f} -> {v:.4f} ({rel:+.1%})"
+        if -rel > threshold:
+            regressions.append(desc)
+        elif abs(rel) > threshold:
+            advisories.append(desc)
+    return regressions, advisories
 
 
 def compare(baseline, current, directions, threshold):
@@ -205,13 +274,14 @@ def main():
                                                   "BENCH_baseline.json")
     out_dir = args.out_dir or args.build_dir
 
-    tables, directions = run_benches(args.build_dir, args.from_report)
+    tables, directions, topdowns = run_benches(args.build_dir, args.from_report)
     sha = git_sha(repo_root)
     snapshot = {
         "sha": sha,
         "threshold": args.threshold,
         "directions": directions,
         "tables": tables,
+        "topdown": topdowns,
     }
     os.makedirs(out_dir, exist_ok=True)
     out_path = os.path.join(out_dir, f"BENCH_{sha}.json")
@@ -236,6 +306,10 @@ def main():
 
     regressions, advisories = compare(baseline, tables, directions,
                                       args.threshold)
+    td_regressions, td_advisories = compare_topdown(baseline, topdowns,
+                                                    args.threshold)
+    regressions += td_regressions
+    advisories += td_advisories
     for line in advisories:
         print(f"[bench_gate] advisory: {line}")
     if regressions:

@@ -35,12 +35,19 @@ RUN_REPORT_REQUIRED = (
     "span_tracing",
     "dropped_spans",
     "hw_counters",
+    "topdown",
     "threads",
     "phases",
     "metrics",
     "histograms",
     "tables",
 )
+
+# Slot-ratio keys an available top-down section must carry beyond the raw
+# counts; the stall-derived ratios additionally require has_stalls.
+TOPDOWN_AVAILABLE_KEYS = ("cycles", "instructions", "has_stalls", "retiring")
+TOPDOWN_STALL_KEYS = ("frontend_bound", "backend_bound", "bad_speculation",
+                      "stalled_cycles_frontend", "stalled_cycles_backend")
 
 
 class ValidationError(Exception):
@@ -101,6 +108,26 @@ def validate_report(doc, path):
     if hw["available"] and doc.get("run_totals") is None:
         raise ValidationError(
             f"{path}: hw counters reported available but run_totals is null")
+    td = doc["topdown"]
+    if not isinstance(td, dict) or "available" not in td or "source" not in td:
+        raise ValidationError(f"{path}: topdown must carry available + source")
+    if td["available"]:
+        for key in TOPDOWN_AVAILABLE_KEYS:
+            if key not in td:
+                raise ValidationError(
+                    f"{path}: available topdown section missing '{key}'")
+        if td["has_stalls"]:
+            for key in TOPDOWN_STALL_KEYS:
+                if key not in td:
+                    raise ValidationError(
+                        f"{path}: topdown with stalls missing '{key}'")
+        total = td["retiring"] + sum(
+            td.get(k, 0.0)
+            for k in ("frontend_bound", "backend_bound", "bad_speculation"))
+        if not 0.0 <= td["retiring"] or (td["has_stalls"] and total > 3.0):
+            # Ratios are approximations; be loose, but catch garbage.
+            raise ValidationError(
+                f"{path}: topdown slot ratios out of range (sum {total:.3f})")
     for phase in doc["phases"]:
         for key in ("name", "count", "total_ms", "mean_us", "max_us", "per_thread"):
             if key not in phase:
@@ -136,6 +163,20 @@ def summarize_report(doc, path):
     print(f"== run report: {path} ==")
     print(f"span tracing: {'on' if doc['span_tracing'] else 'off'}  |  "
           f"counters: {hw['source']}  |  dropped spans: {doc['dropped_spans']}")
+
+    td = doc.get("topdown")
+    if td:
+        if td.get("available"):
+            line = f"top-down: retiring {td['retiring']:.1%}"
+            if td.get("has_stalls"):
+                line += (f"  frontend-bound {td['frontend_bound']:.1%}"
+                         f"  backend-bound {td['backend_bound']:.1%}"
+                         f"  bad-speculation {td['bad_speculation']:.1%}")
+            else:
+                line += "  (stall counters unavailable; level-1 split omitted)"
+            print(line)
+        else:
+            print(f"top-down: unavailable ({td.get('source', '?')})")
 
     if doc["phases"]:
         have_hw = any(p.get("counters") for p in doc["phases"])
