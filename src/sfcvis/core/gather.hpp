@@ -29,6 +29,7 @@
 #include <cstring>
 #include <limits>
 
+#include "sfcvis/core/gmorton.hpp"
 #include "sfcvis/core/grid.hpp"
 #include "sfcvis/core/morton.hpp"
 
@@ -206,6 +207,23 @@ void gather_row(const Grid3D<T, ZOrderLayout>& g, Axis3 axis, std::uint32_t i,
     }
     l += run;
   }
+}
+
+/// Generalized-Morton gather: the masked ripple-add neighbour step works
+/// for every interleave pattern (each axis's bit-planes sit in increasing
+/// output position), so any family member gets the same incremental
+/// run-detecting walk as the canonical Z curve — no per-voxel table loads.
+template <class T>
+void gather_row(const Grid3D<T, GeneralizedMortonLayout>& g, Axis3 axis, std::uint32_t i,
+                std::uint32_t j, std::uint32_t k, std::uint32_t n, T* out,
+                GatherRunStats* rs = nullptr) {
+  const GMortonTables& tables = g.layout().tables();
+  const T* data = g.data();
+  const std::uint64_t m = tables.index(i, j, k);
+  const auto ax = static_cast<unsigned>(axis);
+  detail::gather_morton_runs(
+      data, m, n, out, [&tables, ax](std::uint64_t z) { return tables.inc_axis(z, ax); },
+      rs);
 }
 
 }  // namespace sfcvis::core

@@ -1,0 +1,252 @@
+// Generalized Morton layouts: arbitrary per-axis bit-interleave patterns.
+//
+// A canonical Z-order index interleaves the coordinate bits round-robin
+// (x0 y0 z0 x1 y1 z1 ...). Swatman et al. (arXiv:2309.07002) observe that
+// this is one point in a much larger family: ANY assignment of the padded
+// extents' coordinate bit-planes to output bit positions yields a valid
+// bijective layout, and which member of the family is fastest depends on
+// the kernel's access pattern, the volume shape, and the machine. This
+// header provides that family:
+//
+//  * InterleavePattern — a validated interleave string such as
+//    "zyxzyxzzyyxx". The string is read most-significant-bit first
+//    (leftmost character = highest output bit), so canonical Z-order over
+//    a cube is "zyxzyx...zyx", row-major array order is "zz..yy..xx"
+//    (x fastest), and a pow2 tiled layout groups the low bits of each
+//    axis at the bottom. Those three classic layouts are exactly the
+//    degenerate points the generators below produce (pinned by
+//    tests/test_gmorton.cpp).
+//  * GeneralizedMortonLayout — the Layout3D policy: per-axis deposit
+//    tables exactly like zorder_tables.hpp (index = xtab[i] + ytab[j] +
+//    ztab[k], three loads and two adds regardless of the pattern — the
+//    paper's equal-footing property holds for every family member), plus
+//    per-axis bit masks so neighbour stepping reuses the masked
+//    ripple-add idiom of core/morton.hpp on arbitrary patterns.
+//
+// tools/layout_tuner searches this family per (kernel, shape, machine);
+// exec::LayoutRegistry persists the winners.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sfcvis/core/extents.hpp"
+#include "sfcvis/core/zorder_tables.hpp"
+
+namespace sfcvis::core {
+
+/// A validated generalized-Morton interleave pattern for one padded
+/// extent. The string is most-significant-bit first; within one axis the
+/// n-th occurrence of its character counted from the RIGHT carries
+/// coordinate bit-plane n, so every axis's bit-planes appear in
+/// increasing output position — the property the ripple-add stepping
+/// relies on.
+class InterleavePattern {
+ public:
+  InterleavePattern() = default;
+
+  /// Parses and validates `pattern` against `extents`: the string must
+  /// contain only 'x', 'y', 'z' and exactly log2(padded axis) characters
+  /// per axis. Throws std::invalid_argument with a message naming the
+  /// expected per-axis counts otherwise.
+  InterleavePattern(std::string_view pattern, const Extents3D& extents);
+
+  /// Canonical Z-order member: round-robin x, y, z from the least
+  /// significant bit while an axis still has bits left — bit-identical to
+  /// ZOrderTables (zorder_tables.cpp uses the same assignment).
+  [[nodiscard]] static InterleavePattern canonical(const Extents3D& extents);
+
+  /// Row-major member: all x bits lowest, then y, then z — array order
+  /// over the padded extents ("zz..yy..xx").
+  [[nodiscard]] static InterleavePattern array_order(const Extents3D& extents);
+
+  /// Pow2-tiled member: row-major within a (bx, by, bz) tile, then
+  /// row-major over the tile grid. Matches TiledLayout bit-for-bit on
+  /// power-of-two extents.
+  [[nodiscard]] static InterleavePattern tiled(const Extents3D& extents, std::uint32_t bx,
+                                               std::uint32_t by, std::uint32_t bz);
+
+  /// The MSB-first string ("zyxzyx..." style).
+  [[nodiscard]] const std::string& str() const noexcept { return str_; }
+
+  /// Padded (power-of-two per axis) extents the pattern addresses.
+  [[nodiscard]] const Extents3D& padded() const noexcept { return padded_; }
+
+  /// Number of bit-planes of `axis` (0 = x).
+  [[nodiscard]] unsigned axis_bits(unsigned axis) const noexcept { return bits_[axis]; }
+
+  /// Output bit position of bit-plane `plane` of `axis`.
+  [[nodiscard]] unsigned bit_position(unsigned axis, unsigned plane) const noexcept {
+    return bitpos_[axis][plane];
+  }
+
+  /// Total output bits (== sum of axis_bits).
+  [[nodiscard]] unsigned total_bits() const noexcept {
+    return bits_[0] + bits_[1] + bits_[2];
+  }
+
+  friend bool operator==(const InterleavePattern& a, const InterleavePattern& b) {
+    return a.str_ == b.str_ && a.padded_ == b.padded_;
+  }
+
+ private:
+  struct Trusted {};  // disambiguates from the validating public ctor
+  InterleavePattern(Trusted, std::string str, const Extents3D& padded);
+
+  std::string str_;
+  Extents3D padded_{};
+  unsigned bits_[3] = {0, 0, 0};
+  unsigned bitpos_[3][22] = {};
+};
+
+/// Stable 64-bit FNV-1a hash of an interleave string — the per-layout
+/// salt StructureCache keys and registry lookups mix in so two
+/// generalized-Morton volumes with different patterns never share a
+/// derived-structure entry.
+[[nodiscard]] constexpr std::uint64_t interleave_hash(std::string_view pattern) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : pattern) {
+    h = (h ^ static_cast<std::uint8_t>(c)) * 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Precomputed per-axis deposit tables for one interleave pattern —
+/// the generalized twin of ZOrderTables (same index arithmetic, arbitrary
+/// bit placement) plus the per-axis masks neighbour stepping needs.
+class GMortonTables {
+ public:
+  GMortonTables() = default;
+  explicit GMortonTables(const Extents3D& logical, const InterleavePattern& pattern);
+
+  /// Combined index of (i, j, k): three loads, two adds. Precondition:
+  /// coordinates inside the padded extents. The per-axis patterns are
+  /// disjoint, so + and | are interchangeable.
+  [[nodiscard]] std::size_t index(std::uint32_t i, std::uint32_t j,
+                                  std::uint32_t k) const noexcept {
+    return static_cast<std::size_t>(xtab_[i] + ytab_[j] + ztab_[k]);
+  }
+
+  [[nodiscard]] const Extents3D& padded() const noexcept { return pattern_.padded(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] const InterleavePattern& pattern() const noexcept { return pattern_; }
+
+  /// Inverse mapping: recovers (i, j, k) from a linear index.
+  [[nodiscard]] Coord3D decode(std::size_t index) const noexcept;
+
+  /// Deposited bit pattern of coordinate `c` on `axis` (0 = x) — the
+  /// per-axis summand of index(), for row walks that hold the other two
+  /// axes fixed.
+  [[nodiscard]] std::uint64_t axis_entry(unsigned axis, std::uint32_t c) const noexcept {
+    const std::vector<std::uint64_t>& tab = axis == 0 ? xtab_ : axis == 1 ? ytab_ : ztab_;
+    return tab[c];
+  }
+
+  /// Bit mask of the output positions `axis` occupies.
+  [[nodiscard]] std::uint64_t axis_mask(unsigned axis) const noexcept { return mask_[axis]; }
+
+  /// Index of the +1 neighbour along `axis` — the masked ripple-add of
+  /// core/morton.hpp with the pattern's axis mask: force the other axes'
+  /// bits to 1 so the carry ripples straight through them, add the
+  /// dilated unit (the mask's lowest set bit), re-mask. Axis arithmetic
+  /// wraps modulo the padded axis; stepping inside the grid never wraps.
+  [[nodiscard]] std::uint64_t inc_axis(std::uint64_t m, unsigned axis) const noexcept {
+    const std::uint64_t mask = mask_[axis];
+    return (((m | ~mask) + (mask & (~mask + 1))) & mask) | (m & ~mask);
+  }
+
+  /// Index of the (coordinate + d) neighbour along `axis` (d may be
+  /// negative): the delta is reduced modulo the padded axis, dilated into
+  /// the axis' bit positions, and ripple-added — one add regardless of
+  /// |d|, no decode/re-encode.
+  [[nodiscard]] std::uint64_t step_axis(std::uint64_t m, unsigned axis,
+                                        std::int32_t d) const noexcept {
+    const unsigned bits = pattern_.axis_bits(axis);
+    const std::uint32_t wrapped =
+        static_cast<std::uint32_t>(d) & ((bits >= 32 ? 0u : (1u << bits)) - 1u);
+    const std::uint64_t mask = mask_[axis];
+    const std::uint64_t dd = deposit(wrapped, mask);
+    return (((m | ~mask) + dd) & mask) | (m & ~mask);
+  }
+
+  /// Scatters the low bits of `v` onto the set bits of `mask` (portable
+  /// PDEP): bit n of `v` lands on the n-th set bit of `mask`.
+  [[nodiscard]] static std::uint64_t deposit(std::uint64_t v, std::uint64_t mask) noexcept {
+    std::uint64_t out = 0;
+    for (std::uint64_t m = mask; m != 0; m &= m - 1) {
+      if ((v & 1u) != 0) {
+        out |= m & (~m + 1);
+      }
+      v >>= 1;
+    }
+    return out;
+  }
+
+ private:
+  InterleavePattern pattern_;
+  std::size_t capacity_ = 0;
+  std::uint64_t mask_[3] = {0, 0, 0};
+  std::vector<std::uint64_t> xtab_, ytab_, ztab_;
+};
+
+/// Generalized-Morton layout policy: any interleave pattern, served by the
+/// same three-loads-two-adds arithmetic as the fixed layouts. Tables are
+/// shared_ptr-held so layout objects are cheap to copy into per-thread
+/// kernel state (same discipline as ZOrderLayout).
+class GeneralizedMortonLayout {
+ public:
+  GeneralizedMortonLayout() = default;
+
+  /// Canonical-pattern member (degenerate Z-order): what extents-only
+  /// construction (conversion helpers, default make_volume) yields.
+  explicit GeneralizedMortonLayout(const Extents3D& e)
+      : GeneralizedMortonLayout(e, InterleavePattern::canonical(e)) {}
+
+  GeneralizedMortonLayout(const Extents3D& e, const InterleavePattern& pattern)
+      : extents_(e), tables_(std::make_shared<GMortonTables>(e, pattern)) {}
+
+  /// Convenience: parse + validate the string form.
+  GeneralizedMortonLayout(const Extents3D& e, std::string_view pattern)
+      : GeneralizedMortonLayout(e, InterleavePattern(pattern, e)) {}
+
+  [[nodiscard]] std::size_t index(std::uint32_t i, std::uint32_t j,
+                                  std::uint32_t k) const noexcept {
+    return tables_->index(i, j, k);
+  }
+
+  [[nodiscard]] const Extents3D& extents() const noexcept { return extents_; }
+  [[nodiscard]] std::size_t required_capacity() const noexcept {
+    return tables_ ? tables_->capacity() : 0;
+  }
+  [[nodiscard]] static constexpr std::string_view name() noexcept { return "gmorton"; }
+
+  /// Inverse mapping (layout explorer, conversion checks).
+  [[nodiscard]] Coord3D decode(std::size_t idx) const noexcept { return tables_->decode(idx); }
+
+  [[nodiscard]] const GMortonTables& tables() const noexcept { return *tables_; }
+  [[nodiscard]] const InterleavePattern& pattern() const noexcept {
+    return tables_->pattern();
+  }
+
+ private:
+  Extents3D extents_{};
+  std::shared_ptr<const GMortonTables> tables_;
+};
+
+/// Per-layout salt for derived-structure cache keys: 0 for the fixed
+/// layouts (their identity is fully captured by the volume's storage
+/// pointer + extents), the interleave hash for generalized Morton (two
+/// patterns over one shape must never share an entry).
+template <class L>
+[[nodiscard]] constexpr std::uint64_t layout_cache_salt(const L&) noexcept {
+  return 0;
+}
+[[nodiscard]] inline std::uint64_t layout_cache_salt(
+    const GeneralizedMortonLayout& layout) noexcept {
+  return interleave_hash(layout.pattern().str());
+}
+
+}  // namespace sfcvis::core

@@ -16,6 +16,8 @@ const char* to_string(LayoutKind kind) noexcept {
       return "tiled";
     case LayoutKind::kHilbert:
       return "hilbert";
+    case LayoutKind::kGMorton:
+      return "gmorton";
   }
   return "?";
 }
@@ -24,6 +26,24 @@ static_assert(ArrayOrderLayout::name() == std::string_view{"array-order"});
 static_assert(ZOrderLayout::name() == std::string_view{"z-order"});
 static_assert(TiledLayout::name() == std::string_view{"tiled"});
 static_assert(HilbertLayout::name() == std::string_view{"hilbert"});
+static_assert(GeneralizedMortonLayout::name() == std::string_view{"gmorton"});
+
+namespace {
+
+[[noreturn]] void throw_unknown_layout(std::string_view name) {
+  std::string msg = "unknown layout kind: \"" + std::string(name) + "\" (valid:";
+  for (const LayoutKind kind : kAllLayoutKinds) {
+    msg += ' ';
+    msg += to_string(kind);
+  }
+  msg +=
+      "; generalized Morton also accepts an explicit interleave pattern as "
+      "\"gmorton:<pattern>\", e.g. \"gmorton:zyxzyxzzyyxx\" — MSB-first, one "
+      "'x'/'y'/'z' per padded coordinate bit)";
+  throw std::invalid_argument(msg);
+}
+
+}  // namespace
 
 LayoutKind parse_layout_kind(std::string_view name) {
   if (name == "array-order" || name == "array" || name == "a-order") {
@@ -38,7 +58,33 @@ LayoutKind parse_layout_kind(std::string_view name) {
   if (name == "hilbert") {
     return LayoutKind::kHilbert;
   }
-  throw std::invalid_argument("unknown layout kind: " + std::string(name));
+  if (name == "gmorton" || name == "generalized-morton") {
+    return LayoutKind::kGMorton;
+  }
+  throw_unknown_layout(name);
+}
+
+LayoutSpec parse_layout_spec(std::string_view spec) {
+  LayoutSpec out;
+  const std::size_t colon = spec.find(':');
+  if (colon == std::string_view::npos) {
+    out.kind = parse_layout_kind(spec);
+    return out;
+  }
+  const std::string_view name = spec.substr(0, colon);
+  const std::string_view arg = spec.substr(colon + 1);
+  out.kind = parse_layout_kind(name);
+  if (out.kind != LayoutKind::kGMorton) {
+    throw std::invalid_argument("layout \"" + std::string(name) +
+                                "\" takes no \":<pattern>\" argument (only gmorton does)");
+  }
+  if (arg.empty()) {
+    throw std::invalid_argument(
+        "gmorton: empty interleave pattern after ':' (use plain \"gmorton\" for the "
+        "canonical pattern)");
+  }
+  out.interleave = std::string(arg);
+  return out;
 }
 
 AnyVolume make_volume(LayoutKind kind, const Extents3D& extents, const VolumeOpts& opts) {
@@ -54,6 +100,13 @@ AnyVolume make_volume(LayoutKind kind, const Extents3D& extents, const VolumeOpt
     case LayoutKind::kHilbert:
       return AnyVolume(
           HilbertVolume(HilbertLayout(extents), opts.memory, opts.first_touch));
+    case LayoutKind::kGMorton: {
+      const InterleavePattern pattern =
+          opts.interleave.empty() ? InterleavePattern::canonical(extents)
+                                  : InterleavePattern(opts.interleave, extents);
+      return AnyVolume(GMortonVolume(GeneralizedMortonLayout(extents, pattern), opts.memory,
+                                     opts.first_touch));
+    }
   }
   throw std::invalid_argument("unknown LayoutKind");
 }

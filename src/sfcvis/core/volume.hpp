@@ -1,64 +1,86 @@
-// Runtime volume facade: one value type over the four float Grid3D layout
+// Runtime volume facade: one value type over the five float Grid3D layout
 // instantiations.
 //
 // The paper's Sec. III-C requirement is that swapping the memory layout be
 // transparent to the application. The Layout3D templates deliver that at
 // compile time; AnyVolume extends it to runtime so drivers, benches, and
-// tools can pick a layout from a flag without spelling the 4-way template
+// tools can pick a layout from a flag without spelling the 5-way template
 // cross-product. make_volume() (volume.cpp) is the ONLY place in the
 // library where the per-layout Grid3D instantiations are written out —
 // a CI grep gate (tools/check_layout_gate.sh) keeps it that way.
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <string_view>
 #include <variant>
 
+#include "sfcvis/core/gmorton.hpp"
 #include "sfcvis/core/grid.hpp"
 #include "sfcvis/core/layout.hpp"
 
 namespace sfcvis::core {
 
-/// The four storage layouts under study, as a runtime tag.
+/// The storage layouts under study, as a runtime tag.
 enum class LayoutKind : std::uint8_t {
   kArray = 0,  ///< row-major array order (the baseline)
   kZOrder,     ///< Morton / Z-order curve (the paper's layout)
   kTiled,      ///< pow2-block tiling (the classic bricking alternative)
   kHilbert,    ///< Hilbert curve (related-work SFC variant)
+  kGMorton,    ///< generalized Morton: arbitrary interleave pattern (tuner family)
 };
 
 inline constexpr LayoutKind kAllLayoutKinds[] = {LayoutKind::kArray, LayoutKind::kZOrder,
-                                                 LayoutKind::kTiled, LayoutKind::kHilbert};
+                                                 LayoutKind::kTiled, LayoutKind::kHilbert,
+                                                 LayoutKind::kGMorton};
 
-/// Stable lowercase name ("array-order", "z-order", "tiled", "hilbert") —
-/// matches the static Layout3D::name() strings.
+/// Stable lowercase name ("array-order", "z-order", "tiled", "hilbert",
+/// "gmorton") — matches the static Layout3D::name() strings.
 [[nodiscard]] const char* to_string(LayoutKind kind) noexcept;
 
 /// Inverse of to_string (also accepts "array" and "zorder" shorthands).
-/// Throws std::invalid_argument for unknown names.
+/// Throws std::invalid_argument for unknown names; the message lists the
+/// valid names and the "gmorton:<pattern>" spec syntax.
 [[nodiscard]] LayoutKind parse_layout_kind(std::string_view name);
 
-/// Named aliases for the four concrete volumes. Kernel drivers spell their
+/// A layout selection as it appears on a command line: a kind plus, for
+/// generalized Morton, an optional interleave string.
+struct LayoutSpec {
+  LayoutKind kind = LayoutKind::kArray;
+  std::string interleave;  ///< gmorton pattern; empty = canonical
+};
+
+/// Parses "array-order", "z-order", ..., "gmorton" (canonical pattern), or
+/// "gmorton:zyxzyxzzyyxx" (explicit pattern; validated against the extents
+/// at make_volume time). Throws std::invalid_argument for unknown names.
+[[nodiscard]] LayoutSpec parse_layout_spec(std::string_view spec);
+
+/// Named aliases for the five concrete volumes. Kernel drivers spell their
 /// array-order outputs with ArrayVolume; the per-layout spellings
 /// themselves stay confined to core/ (enforced by the CI grep gate).
 using ArrayVolume = Grid3D<float, ArrayOrderLayout>;
 using ZOrderVolume = Grid3D<float, ZOrderLayout>;
 using TiledVolume = Grid3D<float, TiledLayout>;
 using HilbertVolume = Grid3D<float, HilbertLayout>;
+using GMortonVolume = Grid3D<float, GeneralizedMortonLayout>;
 
 /// Construction knobs for make_volume.
 struct VolumeOpts {
   std::uint32_t tile = 8;        ///< tiled-layout block edge (pow2)
+  std::string interleave;        ///< gmorton pattern; empty = canonical
   MemoryPolicy memory{};         ///< placement policy (huge pages, first-touch)
   FirstTouchFn first_touch{};    ///< parallel-init hook when memory.first_touch
 };
 
-/// A float volume in any of the four layouts — std::variant underneath,
+/// A float volume in any of the five layouts — std::variant underneath,
 /// so it is a value type (copy/move work) and visit() recovers the static
 /// type for kernels.
 class AnyVolume {
  public:
-  using Variant = std::variant<ArrayVolume, ZOrderVolume, TiledVolume, HilbertVolume>;
+  // Alternative order must track the LayoutKind enum: kind() is the
+  // variant index.
+  using Variant =
+      std::variant<ArrayVolume, ZOrderVolume, TiledVolume, HilbertVolume, GMortonVolume>;
 
   AnyVolume() = default;
 
@@ -144,7 +166,8 @@ class AnyVolume {
 };
 
 /// Allocates a zeroed volume of the given layout kind — the single place
-/// the four Grid3D instantiations are spelled.
+/// the five Grid3D instantiations are spelled. For kGMorton,
+/// opts.interleave selects the pattern (empty = canonical Z-equivalent).
 [[nodiscard]] AnyVolume make_volume(LayoutKind kind, const Extents3D& extents,
                                     const VolumeOpts& opts = {});
 

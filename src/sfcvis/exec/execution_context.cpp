@@ -56,6 +56,11 @@ unsigned resolve_threads(unsigned requested) {
 
 }  // namespace
 
+std::string ExecOptions::default_layout_registry_path() {
+  const char* env = std::getenv("SFCVIS_LAYOUT_REGISTRY");
+  return env != nullptr ? std::string(env) : std::string();
+}
+
 ExecutionContext::ExecutionContext(unsigned num_threads)
     : ExecutionContext(num_threads, threads::Affinity::kNone) {}
 
@@ -85,6 +90,19 @@ ExecutionContext::ExecutionContext(const ExecOptions& opts)
   if (!opts.trace_out.empty() || !opts.report_out.empty() || opts.trace) {
     trace_session_ =
         std::make_unique<TraceSession>(opts.trace_out, opts.report_out, opts.trace);
+  }
+  if (opts.layout_registry.empty()) {
+    layout_registry_note_ =
+        "no layout registry configured (set SFCVIS_LAYOUT_REGISTRY or "
+        "ExecOptions::layout_registry)";
+  } else {
+    try {
+      layout_registry_ = LayoutRegistry::load(opts.layout_registry);
+      layout_registry_note_ = "loaded " + std::to_string(layout_registry_.size()) +
+                              " tuned layout(s) from " + opts.layout_registry;
+    } catch (const std::runtime_error& ex) {
+      layout_registry_note_ = std::string("layout registry unavailable: ") + ex.what();
+    }
   }
 }
 
@@ -141,14 +159,37 @@ core::FirstTouchFn ExecutionContext::first_touch_fn() {
 
 core::AnyVolume ExecutionContext::make_volume(core::LayoutKind kind,
                                               const core::Extents3D& extents,
-                                              std::uint32_t tile) {
+                                              std::uint32_t tile,
+                                              std::string_view interleave) {
   core::VolumeOpts opts;
   opts.tile = tile;
+  opts.interleave = std::string(interleave);
   opts.memory = memory_;
   if (memory_.first_touch) {
     opts.first_touch = first_touch_fn();
   }
   return core::make_volume(kind, extents, opts);
+}
+
+ResolvedLayout ExecutionContext::resolve_layout(std::string_view kernel,
+                                                const core::Extents3D& extents,
+                                                std::string_view platform) const {
+  ResolvedLayout out;
+  const std::string shape = shape_key(extents);
+  if (const TunedLayout* entry = layout_registry_.find(kernel, shape, platform)) {
+    out.kind = core::LayoutKind::kGMorton;
+    out.interleave = entry->interleave;
+    out.tuned = true;
+    out.note = "tuned layout for (" + entry->kernel + ", " + entry->shape + ", " +
+               entry->platform + "): \"" + entry->interleave + "\"";
+    return out;
+  }
+  out.kind = core::LayoutKind::kZOrder;
+  out.tuned = false;
+  out.note = "no tuned entry for (" + std::string(kernel) + ", " + shape + ", " +
+             (platform.empty() ? "any" : std::string(platform)) +
+             "); falling back to canonical z-order — " + layout_registry_note_;
+  return out;
 }
 
 }  // namespace sfcvis::exec

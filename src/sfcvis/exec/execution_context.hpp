@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "sfcvis/core/volume.hpp"
+#include "sfcvis/exec/layout_registry.hpp"
 #include "sfcvis/exec/structure_cache.hpp"
 #include "sfcvis/exec/trace_session.hpp"
 #include "sfcvis/threads/omp_executor.hpp"
@@ -73,6 +74,23 @@ struct ExecOptions {
   std::string trace_out;              ///< Chrome trace JSON path ("" = off)
   std::string report_out;             ///< run-report JSON path ("" = off)
   bool trace = false;                 ///< enable spans without export files
+  /// Tuned-layout registry JSON path; "" = $SFCVIS_LAYOUT_REGISTRY (and
+  /// when that is unset too, resolve_layout always reports a fallback).
+  std::string layout_registry = default_layout_registry_path();
+
+  /// $SFCVIS_LAYOUT_REGISTRY when set, else "".
+  [[nodiscard]] static std::string default_layout_registry_path();
+};
+
+/// resolve_layout()'s answer: which layout a workload should run with,
+/// and why. `tuned` distinguishes a registry hit from the canonical
+/// fallback; `note` always explains the decision (entry provenance on a
+/// hit, the miss/load-failure reason otherwise).
+struct ResolvedLayout {
+  core::LayoutKind kind = core::LayoutKind::kZOrder;
+  std::string interleave;  ///< gmorton pattern when kind == kGMorton
+  bool tuned = false;
+  std::string note;
 };
 
 class ExecutionContext {
@@ -166,10 +184,39 @@ class ExecutionContext {
 
   /// Allocates a volume under this context's memory policy, with
   /// first-touch initialization on this context's workers when the policy
-  /// asks for it.
+  /// asks for it. `interleave` selects the generalized-Morton pattern when
+  /// kind == kGMorton (empty = canonical).
   [[nodiscard]] core::AnyVolume make_volume(core::LayoutKind kind,
                                             const core::Extents3D& extents,
-                                            std::uint32_t tile = 8);
+                                            std::uint32_t tile = 8,
+                                            std::string_view interleave = {});
+
+  /// make_volume for a resolve_layout() answer.
+  [[nodiscard]] core::AnyVolume make_volume(const ResolvedLayout& resolved,
+                                            const core::Extents3D& extents,
+                                            std::uint32_t tile = 8) {
+    return make_volume(resolved.kind, extents, tile, resolved.interleave);
+  }
+
+  // -- Tuned layouts ---------------------------------------------------------
+
+  /// The layout this workload should use: the registry's tuned
+  /// generalized-Morton entry for (kernel, extents, platform) when one
+  /// exists, else canonical Z-order with a note reporting the fallback
+  /// reason. An empty `platform` accepts an entry for any platform.
+  [[nodiscard]] ResolvedLayout resolve_layout(std::string_view kernel,
+                                              const core::Extents3D& extents,
+                                              std::string_view platform = {}) const;
+
+  /// The loaded registry (empty when no path was configured or the load
+  /// failed; layout_registry_note() reports which).
+  [[nodiscard]] const LayoutRegistry& layout_registry() const noexcept {
+    return layout_registry_;
+  }
+  /// Where the registry came from, or why it is empty.
+  [[nodiscard]] const std::string& layout_registry_note() const noexcept {
+    return layout_registry_note_;
+  }
 
  private:
   unsigned num_threads_;
@@ -182,6 +229,8 @@ class ExecutionContext {
   std::unique_ptr<threads::Pool> pool_;
   StructureCache structures_;
   std::unique_ptr<TraceSession> trace_session_;
+  LayoutRegistry layout_registry_;
+  std::string layout_registry_note_;
 };
 
 }  // namespace sfcvis::exec

@@ -1,0 +1,332 @@
+#include "sfcvis/exec/layout_registry.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <stdexcept>
+
+#include "sfcvis/trace/json.hpp"
+
+namespace sfcvis::exec {
+
+std::string shape_key(const core::Extents3D& extents) {
+  return std::to_string(extents.nx) + "x" + std::to_string(extents.ny) + "x" +
+         std::to_string(extents.nz);
+}
+
+void LayoutRegistry::add(TunedLayout entry) {
+  for (TunedLayout& existing : entries_) {
+    if (existing.kernel == entry.kernel && existing.shape == entry.shape &&
+        existing.platform == entry.platform) {
+      existing = std::move(entry);
+      return;
+    }
+  }
+  entries_.push_back(std::move(entry));
+}
+
+const TunedLayout* LayoutRegistry::find(std::string_view kernel, std::string_view shape,
+                                        std::string_view platform) const noexcept {
+  const TunedLayout* wildcard = nullptr;
+  for (const TunedLayout& e : entries_) {
+    if (e.kernel != kernel || e.shape != shape) {
+      continue;
+    }
+    if (e.platform == platform) {
+      return &e;
+    }
+    if (wildcard == nullptr && (platform.empty() || e.platform == "any")) {
+      wildcard = &e;
+    }
+  }
+  return wildcard;
+}
+
+namespace {
+
+/// Recursive-descent parser for the registry's JSON subset: objects,
+/// arrays, strings (no \u escapes — the writer never emits them), numbers,
+/// bools, null. Tracks a byte offset for error messages.
+class MiniJsonParser {
+ public:
+  explicit MiniJsonParser(std::string_view text) : text_(text) {}
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("layout registry JSON: " + what + " at byte " +
+                             std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+    }
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      fail(std::string("expected '") + c + "' but found '" + text_[pos_] + "'");
+    }
+    ++pos_;
+  }
+
+  [[nodiscard]] bool consume(char c) {
+    if (peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) {
+        fail("unterminated string");
+      }
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return out;
+      }
+      if (c == '\\') {
+        if (pos_ >= text_.size()) {
+          fail("unterminated escape");
+        }
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          default: fail(std::string("unsupported escape '\\") + esc + "'");
+        }
+        continue;
+      }
+      out += c;
+    }
+  }
+
+  [[nodiscard]] double parse_number() {
+    skip_ws();
+    const std::size_t begin = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (begin == pos_) {
+      fail("expected a number");
+    }
+    try {
+      return std::stod(std::string(text_.substr(begin, pos_ - begin)));
+    } catch (const std::exception&) {
+      fail("malformed number \"" + std::string(text_.substr(begin, pos_ - begin)) + "\"");
+    }
+  }
+
+  /// Skips any value (used for unknown object keys).
+  void skip_value() {
+    const char c = peek();
+    if (c == '"') {
+      (void)parse_string();
+      return;
+    }
+    if (c == '{') {
+      ++pos_;
+      if (!consume('}')) {
+        do {
+          (void)parse_string();
+          expect(':');
+          skip_value();
+        } while (consume(','));
+        expect('}');
+      }
+      return;
+    }
+    if (c == '[') {
+      ++pos_;
+      if (!consume(']')) {
+        do {
+          skip_value();
+        } while (consume(','));
+        expect(']');
+      }
+      return;
+    }
+    if (c == 't' || c == 'f' || c == 'n') {
+      const std::string_view word = c == 't' ? "true" : c == 'f' ? "false" : "null";
+      if (text_.substr(pos_, word.size()) != word) {
+        fail("malformed literal");
+      }
+      pos_ += word.size();
+      return;
+    }
+    (void)parse_number();
+  }
+
+  [[nodiscard]] TunedLayout parse_entry() {
+    TunedLayout e;
+    expect('{');
+    if (!consume('}')) {
+      do {
+        const std::string key = parse_string();
+        expect(':');
+        if (key == "kernel") {
+          e.kernel = parse_string();
+        } else if (key == "shape") {
+          e.shape = parse_string();
+        } else if (key == "platform") {
+          e.platform = parse_string();
+        } else if (key == "interleave") {
+          e.interleave = parse_string();
+        } else if (key == "fitness") {
+          e.fitness = parse_number();
+        } else if (key == "baseline_fitness") {
+          e.baseline_fitness = parse_number();
+        } else if (key == "generations") {
+          e.generations = static_cast<std::uint32_t>(parse_number());
+        } else if (key == "seed") {
+          e.seed = static_cast<std::uint64_t>(parse_number());
+        } else if (key == "note") {
+          e.note = parse_string();
+        } else {
+          skip_value();
+        }
+      } while (consume(','));
+      expect('}');
+    }
+    if (e.kernel.empty() || e.shape.empty() || e.interleave.empty()) {
+      fail("entry missing required key (kernel, shape, interleave)");
+    }
+    return e;
+  }
+
+  [[nodiscard]] LayoutRegistry parse_document() {
+    LayoutRegistry reg;
+    bool version_seen = false;
+    expect('{');
+    if (!consume('}')) {
+      do {
+        const std::string key = parse_string();
+        expect(':');
+        if (key == "sfcvis_layout_registry") {
+          const double version = parse_number();
+          if (version != 1.0) {
+            fail("unsupported registry version " + std::to_string(version));
+          }
+          version_seen = true;
+        } else if (key == "entries") {
+          expect('[');
+          if (!consume(']')) {
+            do {
+              reg.add(parse_entry());
+            } while (consume(','));
+            expect(']');
+          }
+        } else {
+          skip_value();
+        }
+      } while (consume(','));
+      expect('}');
+    }
+    if (!version_seen) {
+      fail("missing \"sfcvis_layout_registry\" version key");
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail("trailing content after document");
+    }
+    return reg;
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+LayoutRegistry LayoutRegistry::from_json(std::string_view json) {
+  return MiniJsonParser(json).parse_document();
+}
+
+LayoutRegistry LayoutRegistry::load(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    throw std::runtime_error("layout registry: cannot open " + path);
+  }
+  std::string text;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    text.append(buf, n);
+  }
+  std::fclose(f);
+  try {
+    return from_json(text);
+  } catch (const std::runtime_error& ex) {
+    throw std::runtime_error(std::string(ex.what()) + " (" + path + ")");
+  }
+}
+
+std::string LayoutRegistry::to_json() const {
+  trace::JsonWriter w;
+  w.begin_object();
+  w.key("sfcvis_layout_registry");
+  w.value(std::uint64_t{1});
+  w.key("entries");
+  w.begin_array();
+  for (const TunedLayout& e : entries_) {
+    w.begin_object();
+    w.key("kernel");
+    w.value(e.kernel);
+    w.key("shape");
+    w.value(e.shape);
+    w.key("platform");
+    w.value(e.platform);
+    w.key("interleave");
+    w.value(e.interleave);
+    w.key("fitness");
+    w.value(e.fitness);
+    w.key("baseline_fitness");
+    w.value(e.baseline_fitness);
+    w.key("generations");
+    w.value(static_cast<std::uint64_t>(e.generations));
+    w.key("seed");
+    w.value(e.seed);
+    w.key("note");
+    w.value(e.note);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take() + "\n";
+}
+
+void LayoutRegistry::save(const std::string& path) const {
+  const std::string text = to_json();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    throw std::runtime_error("layout registry: cannot write " + path);
+  }
+  const std::size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  const int rc = std::fclose(f);
+  if (written != text.size() || rc != 0) {
+    throw std::runtime_error("layout registry: short write to " + path);
+  }
+}
+
+}  // namespace sfcvis::exec

@@ -1,0 +1,98 @@
+// On-disk registry of tuned generalized-Morton layouts.
+//
+// tools/layout_tuner searches the interleave-pattern family per (kernel,
+// volume shape, machine) and records each winner here; ExecutionContext::
+// resolve_layout() consults the registry so workloads pick up their tuned
+// layout automatically, falling back (with a reported note) to the
+// canonical layouts when no entry matches. The file format is a small
+// versioned JSON document:
+//
+//   {
+//     "sfcvis_layout_registry": 1,
+//     "entries": [
+//       {
+//         "kernel": "bilateral",             // kernel / workload name
+//         "shape": "256x256x256",            // logical extents key
+//         "platform": "ivybridge",           // memsim platform ("any" = wildcard)
+//         "interleave": "zyxzyx...",         // winning MSB-first pattern
+//         "fitness": 1234.5,                 // memsim cost of the winner
+//         "baseline_fitness": 2345.6,        // memsim cost of canonical Z
+//         "generations": 12, "seed": 1,      // search provenance
+//         "note": "..."                      // free-form provenance
+//       }, ...
+//     ]
+//   }
+//
+// The reader is a deliberately tiny recursive-descent JSON parser (the
+// repo ships no JSON dependency; trace/json.hpp only writes): it accepts
+// exactly the subset the writer emits plus whitespace, and unknown object
+// keys are skipped so the format can grow.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sfcvis/core/extents.hpp"
+
+namespace sfcvis::exec {
+
+/// One tuned-layout record: the winning interleave pattern for a
+/// (kernel, shape, platform) workload key, with search provenance.
+struct TunedLayout {
+  std::string kernel;
+  std::string shape;     ///< "NXxNYxNZ" logical extents key (see shape_key)
+  std::string platform;  ///< memsim platform name; "any" matches everything
+  std::string interleave;
+  double fitness = 0.0;           ///< memsim cost of the winner (lower is better)
+  double baseline_fitness = 0.0;  ///< memsim cost of canonical Z-order
+  std::uint64_t seed = 0;
+  std::uint32_t generations = 0;
+  std::string note;
+};
+
+/// Canonical shape key for registry lookups: "256x256x256".
+[[nodiscard]] std::string shape_key(const core::Extents3D& extents);
+
+/// In-memory registry with JSON load/save. Lookup prefers an exact
+/// platform match, then an "any"-platform entry.
+class LayoutRegistry {
+ public:
+  /// Inserts or replaces the entry with the same (kernel, shape, platform).
+  void add(TunedLayout entry);
+
+  /// Best entry for the workload key, or nullptr. An empty `platform`
+  /// matches the first (kernel, shape) entry of any platform.
+  [[nodiscard]] const TunedLayout* find(std::string_view kernel, std::string_view shape,
+                                        std::string_view platform = {}) const noexcept;
+  [[nodiscard]] const TunedLayout* find(std::string_view kernel,
+                                        const core::Extents3D& extents,
+                                        std::string_view platform = {}) const noexcept {
+    return find(kernel, shape_key(extents), platform);
+  }
+
+  [[nodiscard]] const std::vector<TunedLayout>& entries() const noexcept { return entries_; }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+
+  /// Parses a registry document. Throws std::runtime_error with a byte
+  /// offset on malformed input or a version mismatch.
+  [[nodiscard]] static LayoutRegistry from_json(std::string_view json);
+
+  /// Loads `path`. Throws std::runtime_error when the file is unreadable
+  /// or malformed.
+  [[nodiscard]] static LayoutRegistry load(const std::string& path);
+
+  /// Serializes the registry document (stable field order, 2-space indent
+  /// friendly single-line entries).
+  [[nodiscard]] std::string to_json() const;
+
+  /// Writes to `path` (truncates). Throws std::runtime_error on I/O error.
+  void save(const std::string& path) const;
+
+ private:
+  std::vector<TunedLayout> entries_;
+};
+
+}  // namespace sfcvis::exec

@@ -414,14 +414,18 @@ void render_tile(const View& view, const Camera& camera, const TransferFunction&
 
 namespace detail {
 
-/// Cache key for a volume's macrocell grid: extents + block size packed
-/// into 64 bits (the volume's identity is the cache's owner pointer).
+/// Cache key for a volume's macrocell grid: extents + block size +
+/// layout salt packed into 64 bits (the volume's identity is the cache's
+/// owner pointer; the salt distinguishes generalized-Morton interleave
+/// patterns, which the data pointer + extents alone cannot).
 [[nodiscard]] inline std::uint64_t macrocell_cache_key(const core::Extents3D& e,
-                                                       std::uint32_t block) noexcept {
+                                                       std::uint32_t block,
+                                                       std::uint64_t layout_salt) noexcept {
   std::uint64_t key = e.nx;
   key = key * 0x100000001b3ULL ^ e.ny;
   key = key * 0x100000001b3ULL ^ e.nz;
   key = key * 0x100000001b3ULL ^ block;
+  key = key * 0x100000001b3ULL ^ layout_salt;
   return key;
 }
 
@@ -454,7 +458,9 @@ template <core::Layout3D L>
   if (config.use_macrocells) {
     if (cells == nullptr) {
       cached_cells = ctx.structures().get_or_build<MacrocellGrid>(
-          volume.data(), detail::macrocell_cache_key(volume.extents(), config.macrocell_size),
+          volume.data(),
+          detail::macrocell_cache_key(volume.extents(), config.macrocell_size,
+                                      core::layout_cache_salt(volume.layout())),
           [&] { return MacrocellGrid::build(volume, config.macrocell_size, &ctx); });
       cells = cached_cells.get();
     }

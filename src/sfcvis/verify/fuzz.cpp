@@ -115,23 +115,39 @@ float field_value(std::uint64_t content_seed, unsigned kind, const Extents3D& e,
   }
 }
 
-/// The four layout variants of one logical volume, all filled from the same
-/// coordinate function — identical logical contents by construction.
+/// The five layout variants of one logical volume, all filled from the same
+/// coordinate function — identical logical contents by construction. The
+/// gmorton member uses a fresh random interleave pattern per case, so over a
+/// fuzz run the whole generalized-Morton family gets differential coverage,
+/// not just the canonical degenerate points.
 struct VolumeSet {
   AnyVolume array;
   AnyVolume zorder;
   AnyVolume tiled;
   AnyVolume hilbert;
+  AnyVolume gmorton;
 };
 
+/// A uniformly random valid interleave string for `e`: Fisher-Yates over the
+/// canonical multiset, so per-axis bit counts are preserved by construction.
+std::string random_interleave(const Extents3D& e, SplitMix64& rng) {
+  std::string s = core::InterleavePattern::canonical(e).str();
+  for (std::size_t i = s.size(); i > 1; --i) {
+    std::swap(s[i - 1], s[rng.below(i)]);
+  }
+  return s;
+}
+
 VolumeSet make_volumes(const Extents3D& e, std::uint64_t content_seed, unsigned kind,
-                       std::uint32_t tile, std::ostringstream& desc) {
+                       std::uint32_t tile, SplitMix64& rng, std::ostringstream& desc) {
   core::VolumeOpts opts;
   opts.tile = tile;
+  opts.interleave = random_interleave(e, rng);
   VolumeSet v{core::make_volume(LayoutKind::kArray, e, opts),
               core::make_volume(LayoutKind::kZOrder, e, opts),
               core::make_volume(LayoutKind::kTiled, e, opts),
-              core::make_volume(LayoutKind::kHilbert, e, opts)};
+              core::make_volume(LayoutKind::kHilbert, e, opts),
+              core::make_volume(LayoutKind::kGMorton, e, opts)};
   const auto fill = [&](auto& grid) {
     grid.fill_from([&](std::uint32_t i, std::uint32_t j, std::uint32_t k) {
       return field_value(content_seed, kind, e, i, j, k);
@@ -141,7 +157,8 @@ VolumeSet make_volumes(const Extents3D& e, std::uint64_t content_seed, unsigned 
   fill(v.zorder);
   fill(v.tiled);
   fill(v.hilbert);
-  desc << " fill=" << kind << " tile=" << tile;
+  fill(v.gmorton);
+  desc << " fill=" << kind << " tile=" << tile << " gmorton=" << opts.interleave;
   return v;
 }
 
@@ -288,6 +305,8 @@ void fuzz_bilateral(FuzzSummary& summary, const VolumeSet& vols, SplitMix64& rng
                                   Tolerance::bit_identical(), label + " [tiled vs array]"));
     record(summary, compare_grids(oracle, run_bilateral(vols.hilbert, p, pool),
                                   Tolerance::bit_identical(), label + " [hilbert vs array]"));
+    record(summary, compare_grids(oracle, run_bilateral(vols.gmorton, p, pool),
+                                  Tolerance::bit_identical(), label + " [gmorton vs array]"));
 
     ArrayGrid reference(ArrayOrderLayout(vols.array.extents()));
     filters::bilateral_reference(vols.array.as<ArrayOrderLayout>(), reference, p.radius,
@@ -352,6 +371,7 @@ void fuzz_smoother(FuzzSummary& summary, const VolumeSet& vols, SplitMix64& rng,
     check(vols.zorder, "z-order");
     check(vols.tiled, "tiled");
     check(vols.hilbert, "hilbert");
+    check(vols.gmorton, "gmorton");
   } else {
     desc << " | median r1";
     filters::median_filter(vols.array, oracle, 1, pool);
@@ -363,6 +383,7 @@ void fuzz_smoother(FuzzSummary& summary, const VolumeSet& vols, SplitMix64& rng,
     check(vols.zorder, "z-order");
     check(vols.tiled, "tiled");
     check(vols.hilbert, "hilbert");
+    check(vols.gmorton, "gmorton");
   }
 }
 
@@ -404,6 +425,9 @@ void fuzz_raycast(FuzzSummary& summary, const VolumeSet& vols, SplitMix64& rng,
   record(summary,
          compare_images(base, render::raycast_parallel(vols.hilbert, camera, tf, cfg, pool),
                         Tolerance::bit_identical(), label.str() + " [hilbert vs array]"));
+  record(summary,
+         compare_images(base, render::raycast_parallel(vols.gmorton, camera, tf, cfg, pool),
+                        Tolerance::bit_identical(), label.str() + " [gmorton vs array]"));
 
   cfg.use_macrocells = true;
   record(summary, compare_images(base, render::raycast_parallel(vols.array, camera, tf, cfg, pool),
@@ -412,6 +436,13 @@ void fuzz_raycast(FuzzSummary& summary, const VolumeSet& vols, SplitMix64& rng,
   record(summary, compare_images(base, render::raycast_parallel(vols.zorder, camera, tf, cfg, pool),
                                  Tolerance::bit_identical(),
                                  label.str() + " [macrocells on vs off, z-order]"));
+  // gmorton through the macrocell path also exercises the layout-salted
+  // StructureCache key: a stale grid cached under another interleave pattern
+  // would corrupt the skip structure and show up here.
+  record(summary,
+         compare_images(base, render::raycast_parallel(vols.gmorton, camera, tf, cfg, pool),
+                        Tolerance::bit_identical(),
+                        label.str() + " [macrocells on vs off, gmorton]"));
 
   // Ray packets must reproduce the scalar traversal bit-for-bit in every
   // mode drawn above (composite/MIP, shaded or not): per-lane control flow
@@ -452,7 +483,7 @@ FuzzSummary run_fuzz_case(std::uint64_t seed, const FuzzOptions& opts) {
   const std::uint64_t content_seed = rng.next();
   const auto fill_kind = static_cast<unsigned>(rng.below(3));
   static constexpr std::uint32_t kTiles[] = {2, 4, 8};
-  const VolumeSet vols = make_volumes(e, content_seed, fill_kind, rng.pick(kTiles), desc);
+  const VolumeSet vols = make_volumes(e, content_seed, fill_kind, rng.pick(kTiles), rng, desc);
 
   const auto nthreads = static_cast<unsigned>(rng.range(1, 4));
   exec::ExecutionContext pool(nthreads);
@@ -465,6 +496,7 @@ FuzzSummary run_fuzz_case(std::uint64_t seed, const FuzzOptions& opts) {
   spot(vols.zorder, 3);
   spot(vols.tiled, 3);
   spot(vols.hilbert, 3);
+  spot(vols.gmorton, 3);
 
   fuzz_bilateral(summary, vols, rng, opts.quick, pool, desc);
   fuzz_smoother(summary, vols, rng, pool, desc);

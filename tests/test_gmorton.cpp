@@ -1,0 +1,323 @@
+// Tests for the generalized-Morton layout family (core/gmorton.hpp):
+// pattern parsing/validation, the degeneracy pins (canonical string ==
+// kZOrder indices, "zz..yy..xx" == row-major, tiled generator ==
+// TiledLayout on pow2 shapes), codec round-trips, masked ripple-add
+// stepping, gather_row equivalence, and cache-key salting.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "sfcvis/core/gather.hpp"
+#include "sfcvis/core/gmorton.hpp"
+#include "sfcvis/core/layout.hpp"
+#include "sfcvis/core/volume.hpp"
+
+namespace core = sfcvis::core;
+
+using core::ArrayOrderLayout;
+using core::Extents3D;
+using core::GeneralizedMortonLayout;
+using core::GMortonTables;
+using core::InterleavePattern;
+using core::TiledLayout;
+using core::ZOrderLayout;
+
+namespace {
+
+const Extents3D kShapes[] = {
+    Extents3D::cube(8),    // pow2 cube
+    Extents3D::cube(16),   // pow2 cube
+    Extents3D{32, 16, 8},  // pow2 anisotropic
+    Extents3D{20, 7, 5},   // non-pow2 anisotropic
+    Extents3D{9, 17, 33},  // just past pow2 boundaries
+    Extents3D{1, 1, 1},    // degenerate
+    Extents3D{100, 1, 1},  // 1D-like
+};
+
+/// A deterministic scrambled (but valid) pattern for `e`: canonical
+/// characters shuffled with a fixed-seed Fisher-Yates.
+std::string scrambled_pattern(const Extents3D& e, std::uint64_t seed) {
+  std::string s = InterleavePattern::canonical(e).str();
+  std::mt19937_64 rng(seed);
+  for (std::size_t i = s.size(); i > 1; --i) {
+    std::swap(s[i - 1], s[rng() % i]);
+  }
+  return s;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// InterleavePattern parsing and validation
+// ---------------------------------------------------------------------------
+
+TEST(InterleavePattern, ParsesValidString) {
+  const Extents3D e = Extents3D::cube(4);  // 2 bits per axis
+  const InterleavePattern p("zyxzyx", e);
+  EXPECT_EQ(p.str(), "zyxzyx");
+  EXPECT_EQ(p.axis_bits(0), 2u);
+  EXPECT_EQ(p.axis_bits(1), 2u);
+  EXPECT_EQ(p.axis_bits(2), 2u);
+  EXPECT_EQ(p.total_bits(), 6u);
+  // MSB-first string: rightmost 'x' is plane 0 at output bit 0; the
+  // leftmost 'z' is plane 1 of z at output bit 5.
+  EXPECT_EQ(p.bit_position(0, 0), 0u);
+  EXPECT_EQ(p.bit_position(1, 0), 1u);
+  EXPECT_EQ(p.bit_position(2, 0), 2u);
+  EXPECT_EQ(p.bit_position(0, 1), 3u);
+  EXPECT_EQ(p.bit_position(1, 1), 4u);
+  EXPECT_EQ(p.bit_position(2, 1), 5u);
+}
+
+TEST(InterleavePattern, RejectsBadCharacter) {
+  EXPECT_THROW(InterleavePattern("zyxzyw", Extents3D::cube(4)), std::invalid_argument);
+  EXPECT_THROW(InterleavePattern("zyx zy", Extents3D::cube(4)), std::invalid_argument);
+}
+
+TEST(InterleavePattern, RejectsWrongAxisCounts) {
+  const Extents3D e = Extents3D::cube(4);
+  EXPECT_THROW(InterleavePattern("zyxzy", e), std::invalid_argument);    // too short
+  EXPECT_THROW(InterleavePattern("zyxzyxx", e), std::invalid_argument);  // too long
+  EXPECT_THROW(InterleavePattern("zyxzyz", e), std::invalid_argument);   // 1x/2y/3z
+  // Error message names the expected counts and the offending string.
+  try {
+    InterleavePattern("zyxzyz", e);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& ex) {
+    const std::string msg = ex.what();
+    EXPECT_NE(msg.find("zyxzyz"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("2x"), std::string::npos) << msg;
+  }
+}
+
+TEST(InterleavePattern, ValidatesAgainstPaddedExtents) {
+  // 20x7x5 pads to 32x8x8: 5 x-bits, 3 y-bits, 3 z-bits.
+  const Extents3D e{20, 7, 5};
+  const InterleavePattern p("zzzyyyxxxxx", e);
+  EXPECT_EQ(p.padded(), (Extents3D{32, 8, 8}));
+  EXPECT_EQ(p.axis_bits(0), 5u);
+  EXPECT_THROW(InterleavePattern("zyxzyxzyx", e), std::invalid_argument);
+}
+
+TEST(InterleavePattern, GeneratorsRoundTripThroughStrings) {
+  for (const Extents3D& e : kShapes) {
+    for (const InterleavePattern& gen :
+         {InterleavePattern::canonical(e), InterleavePattern::array_order(e),
+          InterleavePattern::tiled(e, 8, 8, 8)}) {
+      const InterleavePattern reparsed(gen.str(), e);
+      EXPECT_EQ(reparsed, gen) << gen.str();
+    }
+  }
+}
+
+TEST(InterleavePattern, CanonicalCubeIsRoundRobin) {
+  EXPECT_EQ(InterleavePattern::canonical(Extents3D::cube(8)).str(), "zyxzyxzyx");
+  EXPECT_EQ(InterleavePattern::array_order(Extents3D::cube(8)).str(), "zzzyyyxxx");
+}
+
+TEST(InterleaveHash, DistinguishesPatterns) {
+  EXPECT_NE(core::interleave_hash("zyxzyx"), core::interleave_hash("zyxzxy"));
+  EXPECT_NE(core::interleave_hash("zyx"), core::interleave_hash("zyxzyx"));
+  EXPECT_EQ(core::interleave_hash("zyxzyx"), core::interleave_hash("zyxzyx"));
+}
+
+// ---------------------------------------------------------------------------
+// Degeneracy pins: the classic layouts are members of the family
+// ---------------------------------------------------------------------------
+
+TEST(GMortonDegeneracy, CanonicalPatternMatchesZOrderEverywhere) {
+  for (const Extents3D& e : kShapes) {
+    const ZOrderLayout z(e);
+    const GeneralizedMortonLayout g(e);  // default = canonical
+    ASSERT_EQ(g.required_capacity(), z.required_capacity());
+    for (std::uint32_t k = 0; k < e.nz; ++k) {
+      for (std::uint32_t j = 0; j < e.ny; ++j) {
+        for (std::uint32_t i = 0; i < e.nx; ++i) {
+          ASSERT_EQ(g.index(i, j, k), z.index(i, j, k))
+              << "(" << i << "," << j << "," << k << ") in " << e.nx << "x" << e.ny << "x"
+              << e.nz;
+        }
+      }
+    }
+  }
+}
+
+TEST(GMortonDegeneracy, ArrayPatternMatchesRowMajorOverPaddedExtents) {
+  // The pure "zz..yy..xx" member is row-major over the PADDED extents, so
+  // it agrees with ArrayOrderLayout (row-major over logical extents)
+  // exactly when no axis pads — any pow2 shape. On non-pow2 shapes the
+  // row stride differs (padded nx vs logical nx) by design.
+  for (const Extents3D& e :
+       {Extents3D::cube(8), Extents3D::cube(16), Extents3D{32, 16, 8}, Extents3D{1, 1, 1}}) {
+    const ArrayOrderLayout a(e);
+    const GeneralizedMortonLayout g(e, InterleavePattern::array_order(e));
+    for (std::uint32_t k = 0; k < e.nz; ++k) {
+      for (std::uint32_t j = 0; j < e.ny; ++j) {
+        for (std::uint32_t i = 0; i < e.nx; ++i) {
+          ASSERT_EQ(g.index(i, j, k), a.index(i, j, k));
+        }
+      }
+    }
+  }
+  // Non-pow2: still row-major in the padded box (x-runs contiguous, stride
+  // = padded nx), even though the linear index differs from kArray.
+  const Extents3D e{20, 7, 5};
+  const GeneralizedMortonLayout g(e, InterleavePattern::array_order(e));
+  EXPECT_EQ(g.index(1, 0, 0), g.index(0, 0, 0) + 1);
+  EXPECT_EQ(g.index(0, 1, 0), g.index(0, 0, 0) + 32);      // padded nx
+  EXPECT_EQ(g.index(0, 0, 1), g.index(0, 0, 0) + 32 * 8);  // padded nx*ny
+}
+
+TEST(GMortonDegeneracy, TiledPatternMatchesTiledLayoutOnPow2Shapes) {
+  // TiledLayout uses ceil-div tile counts, so bit-exact agreement needs
+  // pow2 extents (where padding is the identity).
+  for (const Extents3D& e : {Extents3D::cube(16), Extents3D{32, 16, 8}}) {
+    const TiledLayout t(e, 8);
+    const GeneralizedMortonLayout g(e, InterleavePattern::tiled(e, 8, 8, 8));
+    for (std::uint32_t k = 0; k < e.nz; ++k) {
+      for (std::uint32_t j = 0; j < e.ny; ++j) {
+        for (std::uint32_t i = 0; i < e.nx; ++i) {
+          ASSERT_EQ(g.index(i, j, k), t.index(i, j, k));
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Codec: decode inverts index, stepping matches re-encode
+// ---------------------------------------------------------------------------
+
+TEST(GMortonCodec, DecodeInvertsIndex) {
+  for (const Extents3D& e : kShapes) {
+    for (const std::uint64_t seed : {1u, 2u, 3u}) {
+      const GeneralizedMortonLayout g(e, scrambled_pattern(e, seed));
+      for (std::uint32_t k = 0; k < e.nz; ++k) {
+        for (std::uint32_t j = 0; j < e.ny; ++j) {
+          for (std::uint32_t i = 0; i < e.nx; ++i) {
+            const core::Coord3D c = g.decode(g.index(i, j, k));
+            ASSERT_EQ(c.i, i);
+            ASSERT_EQ(c.j, j);
+            ASSERT_EQ(c.k, k);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(GMortonCodec, IncAndStepMatchReEncode) {
+  const Extents3D e{20, 7, 5};
+  for (const std::uint64_t seed : {7u, 8u}) {
+    const GeneralizedMortonLayout g(e, scrambled_pattern(e, seed));
+    const GMortonTables& t = g.tables();
+    for (std::uint32_t k = 0; k < e.nz; ++k) {
+      for (std::uint32_t j = 0; j < e.ny; ++j) {
+        for (std::uint32_t i = 0; i < e.nx; ++i) {
+          const std::uint64_t m = g.index(i, j, k);
+          if (i + 1 < t.padded().nx) {
+            ASSERT_EQ(t.inc_axis(m, 0), g.index(i + 1, j, k));
+          }
+          if (j + 1 < t.padded().ny) {
+            ASSERT_EQ(t.inc_axis(m, 1), g.index(i, j + 1, k));
+          }
+          if (k + 1 < t.padded().nz) {
+            ASSERT_EQ(t.inc_axis(m, 2), g.index(i, j, k + 1));
+          }
+          for (const std::int32_t d : {-3, -1, 2, 5}) {
+            const std::int64_t ni = std::int64_t{i} + d;
+            if (ni >= 0 && ni < std::int64_t{t.padded().nx}) {
+              ASSERT_EQ(t.step_axis(m, 0, d),
+                        g.index(static_cast<std::uint32_t>(ni), j, k));
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(GMortonCodec, GatherRowMatchesDirectReads) {
+  const Extents3D e{24, 12, 10};
+  for (const std::uint64_t seed : {11u, 12u, 13u}) {
+    core::GMortonVolume vol{GeneralizedMortonLayout(e, scrambled_pattern(e, seed))};
+    vol.fill_from([](std::uint32_t i, std::uint32_t j, std::uint32_t k) {
+      return static_cast<float>(i * 1000 + j * 100 + k);
+    });
+    std::vector<float> fast(32);
+    core::GatherRunStats rs;
+    for (const core::Axis3 axis : {core::Axis3::kX, core::Axis3::kY, core::Axis3::kZ}) {
+      const std::uint32_t n =
+          axis == core::Axis3::kX ? e.nx : axis == core::Axis3::kY ? e.ny : e.nz;
+      for (std::uint32_t j = 0; j < 4; ++j) {
+        gather_row(vol, axis, 0, j, 1, n, fast.data(), &rs);
+        for (std::uint32_t l = 0; l < n; ++l) {
+          const std::uint32_t ii = axis == core::Axis3::kX ? l : 0;
+          const std::uint32_t jj = axis == core::Axis3::kY ? j + l : j;
+          const std::uint32_t kk = axis == core::Axis3::kZ ? 1 + l : 1;
+          ASSERT_EQ(fast[l], vol.at(ii, jj, kk))
+              << "axis " << static_cast<int>(axis) << " l " << l << " seed " << seed;
+        }
+      }
+    }
+    EXPECT_GT(rs.runs, 0u);
+    EXPECT_EQ(rs.elements, 4u * (e.nx + e.ny + e.nz));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Facade integration
+// ---------------------------------------------------------------------------
+
+TEST(GMortonVolumeFacade, VariantIndexMatchesKindEnum) {
+  for (const core::LayoutKind kind : core::kAllLayoutKinds) {
+    const core::AnyVolume v = core::make_volume(kind, Extents3D::cube(4));
+    EXPECT_EQ(v.kind(), kind);
+    EXPECT_STREQ(v.layout_name(), core::to_string(kind));
+  }
+}
+
+TEST(GMortonVolumeFacade, MakeVolumeHonorsInterleave) {
+  core::VolumeOpts opts;
+  opts.interleave = "xxyyzz";  // x slowest — deliberately non-canonical
+  const Extents3D e = Extents3D::cube(4);
+  core::AnyVolume v = core::make_volume(core::LayoutKind::kGMorton, e, opts);
+  const auto& g = v.as<GeneralizedMortonLayout>();
+  EXPECT_EQ(g.layout().pattern().str(), "xxyyzz");
+  // Invalid pattern surfaces as invalid_argument at construction.
+  opts.interleave = "xyz";
+  EXPECT_THROW(core::make_volume(core::LayoutKind::kGMorton, e, opts),
+               std::invalid_argument);
+}
+
+TEST(GMortonVolumeFacade, ConvertToRoundTripsContents) {
+  const Extents3D e{9, 6, 5};
+  core::AnyVolume src = core::make_volume(core::LayoutKind::kArray, e);
+  src.fill_from([](std::uint32_t i, std::uint32_t j, std::uint32_t k) {
+    return static_cast<float>(7 * i + 5 * j + 3 * k);
+  });
+  core::VolumeOpts opts;
+  opts.interleave = scrambled_pattern(e, 21);
+  const core::AnyVolume gm = src.convert_to(core::LayoutKind::kGMorton, opts);
+  const core::AnyVolume back = gm.convert_to(core::LayoutKind::kArray);
+  for (std::uint32_t k = 0; k < e.nz; ++k) {
+    for (std::uint32_t j = 0; j < e.ny; ++j) {
+      for (std::uint32_t i = 0; i < e.nx; ++i) {
+        ASSERT_EQ(back.at(i, j, k), src.at(i, j, k));
+      }
+    }
+  }
+}
+
+TEST(GMortonCacheSalt, ZeroForFixedLayoutsPatternHashForGMorton) {
+  EXPECT_EQ(core::layout_cache_salt(ZOrderLayout(Extents3D::cube(4))), 0u);
+  EXPECT_EQ(core::layout_cache_salt(ArrayOrderLayout(Extents3D::cube(4))), 0u);
+  const Extents3D e = Extents3D::cube(4);
+  const GeneralizedMortonLayout a(e, "zyxzyx");
+  const GeneralizedMortonLayout b(e, "xyzxyz");
+  EXPECT_NE(core::layout_cache_salt(a), core::layout_cache_salt(b));
+  EXPECT_EQ(core::layout_cache_salt(a), core::interleave_hash("zyxzyx"));
+}

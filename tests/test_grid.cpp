@@ -137,19 +137,24 @@ TEST(PlainView, ForwardsReads) {
   EXPECT_EQ(v.extents(), g.extents());
 }
 
-TEST(TracedView, RecordsEveryAccessWithTrueAddress) {
+TEST(TracedView, RecordsEveryAccessRebasedToSyntheticOrigin) {
+  // Reported addresses are kTracedBase + the element's byte offset in the
+  // grid's storage — never the real heap address, so the modeled counters
+  // cannot depend on where the allocator happened to place the volume.
   Grid3D<float, ZOrderLayout> g(Extents3D::cube(8));
   g.fill_from(tag);
   RecordingSink sink;
   const core::TracedView<float, ZOrderLayout, RecordingSink> v(g, sink);
+  constexpr std::uint64_t base =
+      core::TracedView<float, ZOrderLayout, RecordingSink>::kTracedBase;
 
   EXPECT_EQ(v.at(3, 4, 5), tag(3, 4, 5));
   EXPECT_EQ(v.at(0, 0, 0), tag(0, 0, 0));
   EXPECT_EQ(v.at_clamped(-2, 0, 0), tag(0, 0, 0));
 
   ASSERT_EQ(sink.addrs.size(), 3u);
-  EXPECT_EQ(sink.addrs[0], reinterpret_cast<std::uint64_t>(&g.at(3, 4, 5)));
-  EXPECT_EQ(sink.addrs[1], reinterpret_cast<std::uint64_t>(g.data()));
+  EXPECT_EQ(sink.addrs[0], base + g.layout().index(3, 4, 5) * sizeof(float));
+  EXPECT_EQ(sink.addrs[1], base);  // element (0,0,0) sits at the grid base
   EXPECT_EQ(sink.addrs[2], sink.addrs[1]);  // clamped to the same voxel
   for (const auto s : sink.sizes) {
     EXPECT_EQ(s, sizeof(float));

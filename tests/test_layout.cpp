@@ -7,6 +7,7 @@
 #include <numeric>
 #include <vector>
 
+#include "sfcvis/core/gmorton.hpp"
 #include "sfcvis/core/layout.hpp"
 #include "sfcvis/core/morton.hpp"
 
@@ -14,6 +15,7 @@ namespace core = sfcvis::core;
 
 using core::ArrayOrderLayout;
 using core::Extents3D;
+using core::GeneralizedMortonLayout;
 using core::HilbertLayout;
 using core::TiledLayout;
 using core::ZOrderLayout;
@@ -25,7 +27,8 @@ using core::ZOrderLayout;
 template <class L>
 class LayoutTypedTest : public ::testing::Test {};
 
-using AllLayouts = ::testing::Types<ArrayOrderLayout, ZOrderLayout, TiledLayout, HilbertLayout>;
+using AllLayouts = ::testing::Types<ArrayOrderLayout, ZOrderLayout, TiledLayout,
+                                    HilbertLayout, GeneralizedMortonLayout>;
 TYPED_TEST_SUITE(LayoutTypedTest, AllLayouts);
 
 TYPED_TEST(LayoutTypedTest, InjectiveAndInBoundsOnCube) {

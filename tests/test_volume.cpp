@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <stdexcept>
+#include <string>
 #include <variant>
 
 #include "sfcvis/core/grid.hpp"
@@ -28,6 +29,7 @@ TEST(LayoutKind, ToStringMatchesLayoutNames) {
   EXPECT_STREQ(core::to_string(LayoutKind::kZOrder), "z-order");
   EXPECT_STREQ(core::to_string(LayoutKind::kTiled), "tiled");
   EXPECT_STREQ(core::to_string(LayoutKind::kHilbert), "hilbert");
+  EXPECT_STREQ(core::to_string(LayoutKind::kGMorton), "gmorton");
 }
 
 TEST(LayoutKind, ParseRoundTripsAllKinds) {
@@ -41,11 +43,49 @@ TEST(LayoutKind, ParseAcceptsAliases) {
   EXPECT_EQ(core::parse_layout_kind("a-order"), LayoutKind::kArray);
   EXPECT_EQ(core::parse_layout_kind("zorder"), LayoutKind::kZOrder);
   EXPECT_EQ(core::parse_layout_kind("morton"), LayoutKind::kZOrder);
+  EXPECT_EQ(core::parse_layout_kind("generalized-morton"), LayoutKind::kGMorton);
 }
 
 TEST(LayoutKind, ParseRejectsUnknown) {
   EXPECT_THROW((void)core::parse_layout_kind("row-major"), std::invalid_argument);
   EXPECT_THROW((void)core::parse_layout_kind(""), std::invalid_argument);
+}
+
+TEST(LayoutKind, ParseFailureListsValidNamesAndInterleaveSyntax) {
+  // The error message is the CLI's only documentation at the point of
+  // failure: it must enumerate every accepted name and show the
+  // "gmorton:<pattern>" syntax.
+  try {
+    (void)core::parse_layout_kind("row-major");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& ex) {
+    const std::string msg = ex.what();
+    EXPECT_NE(msg.find("row-major"), std::string::npos) << msg;
+    for (const auto kind : core::kAllLayoutKinds) {
+      EXPECT_NE(msg.find(core::to_string(kind)), std::string::npos) << msg;
+    }
+    EXPECT_NE(msg.find("gmorton:<pattern>"), std::string::npos) << msg;
+  }
+}
+
+TEST(LayoutSpec, ParsesPlainKindsAndGMortonPattern) {
+  EXPECT_EQ(core::parse_layout_spec("tiled").kind, LayoutKind::kTiled);
+  EXPECT_TRUE(core::parse_layout_spec("tiled").interleave.empty());
+
+  const core::LayoutSpec spec = core::parse_layout_spec("gmorton:zyxzyx");
+  EXPECT_EQ(spec.kind, LayoutKind::kGMorton);
+  EXPECT_EQ(spec.interleave, "zyxzyx");
+
+  // Plain "gmorton" means the canonical pattern is chosen at make_volume
+  // time (it depends on the extents).
+  EXPECT_EQ(core::parse_layout_spec("gmorton").kind, LayoutKind::kGMorton);
+  EXPECT_TRUE(core::parse_layout_spec("gmorton").interleave.empty());
+}
+
+TEST(LayoutSpec, RejectsArgumentsOnOtherKindsAndEmptyPattern) {
+  EXPECT_THROW((void)core::parse_layout_spec("tiled:8"), std::invalid_argument);
+  EXPECT_THROW((void)core::parse_layout_spec("gmorton:"), std::invalid_argument);
+  EXPECT_THROW((void)core::parse_layout_spec("bogus:zyx"), std::invalid_argument);
 }
 
 TEST(MakeVolume, KindAndNameMatchRequest) {

@@ -63,6 +63,19 @@ BENCHES = [
         },
     },
     {
+        "binary": "abl_layout_compare",
+        "args": ["--quick"],
+        "tables": {
+            # The main layout tables mix wall clock (noisy) with memsim rows,
+            # so they only advise; the tuned-vs-canonical-Z restatement is
+            # pure memsim and gates: the quick_search winner must keep
+            # beating (or matching) canonical Z-order on modeled cost.
+            "abl_layout_bilateral.csv": "advisory",
+            "abl_layout_volrend.csv": "advisory",
+            "abl_layout_tuned_cycles.csv": "lower",
+        },
+    },
+    {
         "binary": "abl_simd",
         "args": ["--quick"],
         "tables": {

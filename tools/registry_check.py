@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Validate (or summarize) a tuned-layout registry JSON file.
+
+The registry is written by tools/layout_tuner and consumed by
+exec::ExecutionContext::resolve_layout (format: DESIGN.md Sec. 9). This
+checker is how CI's tuner-smoke job proves the emitted file is a registry
+ExecutionContext will actually accept:
+
+  * top-level "sfcvis_layout_registry" version is 1;
+  * every entry carries kernel / shape / platform / interleave;
+  * shape parses as "NXxNYxNZ" with positive extents;
+  * the interleave string is valid for the shape: only 'x'/'y'/'z'
+    characters, exactly ceil(log2(axis)) of each (the padded bit count) —
+    the same rule core::InterleavePattern enforces;
+  * fitness <= baseline_fitness (a tuner winner must not be worse than
+    canonical Z-order: the search seeds with it, so a regression here
+    means the registry was edited by hand or the tuner is broken);
+  * no duplicate (kernel, shape, platform) keys.
+
+Usage:
+  tools/registry_check.py tuned_layouts.json [more.json ...]
+  tools/registry_check.py --summary tuned_layouts.json
+
+Exit codes: 0 OK, 1 validation failure, 2 usage / unreadable input.
+"""
+
+import argparse
+import json
+import sys
+
+REQUIRED_KEYS = ("kernel", "shape", "platform", "interleave")
+KNOWN_KERNELS = ("bilateral", "raycast")
+
+
+def fail(path, msg):
+    print(f"registry_check: {path}: {msg}", file=sys.stderr)
+    return False
+
+
+def padded_bits(n):
+    """ceil(log2(n)) — bits of the power-of-two-padded axis."""
+    return max(0, (int(n) - 1).bit_length())
+
+
+def check_entry(path, i, entry):
+    where = f"entries[{i}]"
+    if not isinstance(entry, dict):
+        return fail(path, f"{where}: not an object")
+    for key in REQUIRED_KEYS:
+        if not isinstance(entry.get(key), str) or not entry[key]:
+            return fail(path, f"{where}: missing or empty \"{key}\"")
+    if entry["kernel"] not in KNOWN_KERNELS:
+        return fail(
+            path,
+            f"{where}: unknown kernel \"{entry['kernel']}\" (want one of {KNOWN_KERNELS})",
+        )
+
+    parts = entry["shape"].split("x")
+    if len(parts) != 3 or not all(p.isdigit() and int(p) > 0 for p in parts):
+        return fail(path, f"{where}: malformed shape \"{entry['shape']}\" (want NXxNYxNZ)")
+    nx, ny, nz = (int(p) for p in parts)
+
+    pattern = entry["interleave"]
+    bad = set(pattern) - set("xyz")
+    if bad:
+        return fail(path, f"{where}: invalid interleave characters {sorted(bad)}")
+    want = {"x": padded_bits(nx), "y": padded_bits(ny), "z": padded_bits(nz)}
+    have = {c: pattern.count(c) for c in "xyz"}
+    if have != want:
+        return fail(
+            path,
+            f"{where}: interleave \"{pattern}\" has {have} bits but shape "
+            f"{entry['shape']} needs {want}",
+        )
+
+    fitness = entry.get("fitness")
+    baseline = entry.get("baseline_fitness")
+    for name, v in (("fitness", fitness), ("baseline_fitness", baseline)):
+        if v is not None and (not isinstance(v, (int, float)) or v < 0):
+            return fail(path, f"{where}: {name} must be a non-negative number")
+    if fitness is not None and baseline is not None and baseline > 0:
+        if fitness > baseline:
+            return fail(
+                path,
+                f"{where}: tuned fitness {fitness} is worse than canonical "
+                f"baseline {baseline} — a regressed winner must not ship",
+            )
+    return True
+
+
+def check_file(path, summary):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as ex:
+        print(f"registry_check: {path}: unreadable: {ex}", file=sys.stderr)
+        return 2
+
+    if not isinstance(doc, dict) or doc.get("sfcvis_layout_registry") != 1:
+        fail(path, 'missing or unsupported "sfcvis_layout_registry" version (want 1)')
+        return 1
+    entries = doc.get("entries")
+    if not isinstance(entries, list):
+        fail(path, '"entries" must be an array')
+        return 1
+
+    ok = True
+    seen = {}
+    for i, entry in enumerate(entries):
+        if not check_entry(path, i, entry):
+            ok = False
+            continue
+        key = (entry["kernel"], entry["shape"], entry["platform"])
+        if key in seen:
+            ok = fail(path, f"entries[{i}]: duplicate key {key} (also entries[{seen[key]}])")
+            continue
+        seen[key] = i
+
+    if not ok:
+        return 1
+    if summary:
+        print(f"{path}: {len(entries)} tuned layout(s)")
+        for entry in entries:
+            gain = ""
+            if entry.get("baseline_fitness") and entry.get("fitness"):
+                gain = f"  {entry['baseline_fitness'] / entry['fitness']:.3f}x vs canonical"
+            print(
+                f"  ({entry['kernel']}, {entry['shape']}, {entry['platform']}) -> "
+                f"\"{entry['interleave']}\"{gain}"
+            )
+    else:
+        print(f"{path}: OK ({len(entries)} entries)")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="+", help="registry JSON files to check")
+    parser.add_argument("--summary", action="store_true", help="print per-entry details")
+    args = parser.parse_args()
+
+    worst = 0
+    for path in args.files:
+        worst = max(worst, check_file(path, args.summary))
+    return worst
+
+
+if __name__ == "__main__":
+    sys.exit(main())
