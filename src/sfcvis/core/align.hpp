@@ -81,6 +81,11 @@ struct MemoryPolicy {
   /// its own node (classic first-touch placement). Requires a
   /// FirstTouchFn; without one the request falls back to serial init.
   bool first_touch = false;
+  /// Byte budget for out-of-core brick caches opened through this policy
+  /// (exec::ExecutionContext::open_bricked). 0 = mmap the brick file and
+  /// let the page cache decide; > 0 = a streamed LRU cache of that many
+  /// bytes. Ignored by in-core grid allocations.
+  std::size_t brick_cache_bytes = 0;
 };
 
 /// Parallel initialization hook: invoked as fn(count, touch) and must call

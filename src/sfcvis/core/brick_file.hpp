@@ -1,0 +1,111 @@
+// SFCBRK01: the on-disk brick-file format behind core::BrickedVolume.
+//
+// A brick file is a volume cut into cubic pow2-edge bricks, the bricks
+// ordered on disk by the Morton code of their brick-grid coordinate (so a
+// Z-order traversal of the volume reads the file forward), and each brick
+// stored internally in any in-core LayoutKind — including a generalized-
+// Morton interleave pattern. Edge bricks are zero-padded to the full brick
+// shape; the logical extents in the header say where data ends.
+//
+// Layout (little-endian, offsets in bytes):
+//   [ 0,  8)  magic "SFCBRK01"
+//   [ 8, 12)  u32 version (currently 1)
+//   [12, 16)  u32 nx   --+
+//   [16, 20)  u32 ny     +-- logical volume extents
+//   [20, 24)  u32 nz   --+
+//   [24, 28)  u32 brick_edge          (power of two, 2..64)
+//   [28, 32)  u32 inner LayoutKind    (in-core kinds only, 0..4)
+//   [32, 36)  u32 inner tile edge     (tiled bricks; clamped to brick_edge)
+//   [36, 40)  u32 interleave length   (gmorton bricks; 0 = canonical)
+//   [40, 48)  u64 brick count
+//   [48, ..)  interleave pattern chars, then zero padding to a 64-byte
+//             boundary (payload_offset)
+//   payload:  brick_count bricks, ascending brick-grid Morton code, each
+//             brick_edge^3 floats in the inner layout's index order.
+//
+// Every validation failure (bad magic, impossible field, file size not
+// matching the header's promise) throws std::runtime_error naming the path
+// and the reason — a corrupt file is a reported error, never UB.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sfcvis/core/extents.hpp"
+#include "sfcvis/core/layout_kind.hpp"
+
+namespace sfcvis::core {
+
+class AnyVolume;  // volume.hpp; brick_file.cpp sees the full type
+
+/// Parsed + validated SFCBRK01 header, plus derived brick-grid geometry.
+struct BrickFileInfo {
+  Extents3D extents{};                          ///< logical volume extents
+  std::uint32_t brick_edge = 0;                 ///< cubic brick edge (pow2)
+  LayoutKind inner_kind = LayoutKind::kZOrder;  ///< layout inside each brick
+  std::uint32_t inner_tile = 0;                 ///< tile edge for tiled bricks
+  std::string interleave;                       ///< gmorton pattern; empty = canonical
+  std::uint64_t brick_count = 0;                ///< bricks in the payload
+  std::uint64_t payload_offset = 0;             ///< first brick's byte offset
+
+  /// Brick-grid extents: ceil(extents / brick_edge) per axis.
+  [[nodiscard]] Extents3D brick_grid() const noexcept {
+    return Extents3D{(extents.nx + brick_edge - 1) / brick_edge,
+                     (extents.ny + brick_edge - 1) / brick_edge,
+                     (extents.nz + brick_edge - 1) / brick_edge};
+  }
+  [[nodiscard]] std::size_t brick_elems() const noexcept {
+    return static_cast<std::size_t>(brick_edge) * brick_edge * brick_edge;
+  }
+  [[nodiscard]] std::size_t brick_bytes() const noexcept {
+    return brick_elems() * sizeof(float);
+  }
+  /// Exact file size the header promises; open() rejects any other.
+  [[nodiscard]] std::uint64_t expected_file_size() const noexcept {
+    return payload_offset + brick_count * brick_bytes();
+  }
+};
+
+/// Packing knobs for pack_brick_file.
+struct BrickPackOptions {
+  std::uint32_t brick_edge = 16;                ///< pow2, 2..64
+  LayoutKind inner_kind = LayoutKind::kZOrder;  ///< in-core kinds only
+  std::uint32_t inner_tile = 8;                 ///< tiled bricks (clamped to edge)
+  std::string interleave;                       ///< gmorton pattern; empty = canonical
+};
+
+/// Writes `src` to `path` as an SFCBRK01 brick file and returns the header
+/// that was written. Throws std::runtime_error on IO failure and
+/// std::invalid_argument on impossible options (non-pow2 edge, kBricked as
+/// the inner kind, an interleave that does not cover the brick cube).
+BrickFileInfo pack_brick_file(const std::string& path, const AnyVolume& src,
+                              const BrickPackOptions& opts = {});
+
+/// Reads + validates the header of an existing brick file, including the
+/// exact-file-size check (a truncated or padded file is rejected here, so
+/// later pread/mmap accesses can never run off the end). Throws
+/// std::runtime_error naming the path and the defect.
+BrickFileInfo read_brick_file_header(const std::string& path);
+
+namespace detail {
+
+/// Offset LUT for one brick: entry [li + (lj << s) + (lk << 2s)] (s =
+/// log2(edge)) is the inner layout's storage index of local voxel
+/// (li, lj, lk). One table serves every brick of a file; building it is
+/// the only place the inner layout's index function runs, so brick access
+/// is a single load regardless of inner kind. For a pow2 cube every
+/// in-core layout's required_capacity is exactly edge^3 (asserted), so the
+/// LUT is a permutation of [0, edge^3).
+[[nodiscard]] std::vector<std::uint32_t> brick_inner_offsets(std::uint32_t edge,
+                                                             LayoutKind inner_kind,
+                                                             std::uint32_t inner_tile,
+                                                             const std::string& interleave);
+
+/// Ascending Morton codes of every brick-grid coordinate in `grid` —
+/// the on-disk brick order. codes[rank] is the rank'th brick's code.
+[[nodiscard]] std::vector<std::uint64_t> brick_codes(const Extents3D& grid);
+
+}  // namespace detail
+
+}  // namespace sfcvis::core

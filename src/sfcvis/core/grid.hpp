@@ -27,6 +27,9 @@ class Grid3D {
  public:
   using value_type = T;
   using layout_type = LayoutT;
+  /// Opts into the VolumeBackend concept (core/traced_view.hpp): kernels
+  /// templated on a backend accept Grid3D and BrickedVolume alike.
+  using is_volume_backend_tag = void;
 
   Grid3D() = default;
 
@@ -106,10 +109,14 @@ class Grid3D {
     });
   }
 
-  /// Copies logical contents from a grid with any other layout.
-  /// Extents must match.
-  template <Layout3D OtherLayoutT>
-  void copy_from(const Grid3D<T, OtherLayoutT>& other) {
+  /// Copies logical contents from any readable volume backend (a grid with
+  /// any other layout, or an out-of-core BrickedVolume). Extents must match.
+  template <class SrcT>
+    requires requires(const SrcT& s) {
+      s.at(std::uint32_t{}, std::uint32_t{}, std::uint32_t{});
+      s.extents();
+    }
+  void copy_from(const SrcT& other) {
     assert(extents() == other.extents());
     for_each_index([&](std::uint32_t i, std::uint32_t j, std::uint32_t k) {
       at(i, j, k) = other.at(i, j, k);

@@ -18,9 +18,21 @@
 
 #include <cstdint>
 
+#include "sfcvis/core/gmorton.hpp"
 #include "sfcvis/core/grid.hpp"
 
 namespace sfcvis::core {
+
+/// Any type usable as a volume backend by the kernels: opts in via the
+/// member tag (Grid3D for in-core storage, BrickedVolume for out-of-core
+/// brick files). Kernels templated on a VolumeBackend obtain their read
+/// view through make_read_view / make_traced_view below instead of naming
+/// PlainView/TracedView directly — the factories are overloaded per
+/// backend, so one kernel body serves both worlds. The tag (rather than a
+/// structural requires-clause) keeps AnyVolume itself, which forwards much
+/// of the same surface, from ever matching.
+template <class V>
+concept VolumeBackend = requires { typename V::is_volume_backend_tag; };
 
 /// A sink consuming the byte-level read trace of a kernel.
 template <class S>
@@ -94,5 +106,33 @@ concept ReadView3D = requires(const V view, std::uint32_t c, std::int64_t s) {
   { view.at_clamped(s, s, s) };
   { view.extents() } -> std::convertible_to<Extents3D>;
 };
+
+// ---------------------------------------------------------------------------
+// Backend view factories (customization points)
+// ---------------------------------------------------------------------------
+// Kernels write `const auto view = make_read_view(src);` against any
+// VolumeBackend; core/bricked.hpp adds the BrickedVolume overloads.
+
+/// Zero-overhead read view over an in-core grid.
+template <class T, Layout3D LayoutT>
+[[nodiscard]] inline PlainView<T, LayoutT> make_read_view(const Grid3D<T, LayoutT>& grid) {
+  return PlainView<T, LayoutT>(grid);
+}
+
+/// Memsim-reporting read view over an in-core grid.
+template <class T, Layout3D LayoutT, AccessSink SinkT>
+[[nodiscard]] inline TracedView<T, LayoutT, SinkT> make_traced_view(
+    const Grid3D<T, LayoutT>& grid, SinkT& sink) {
+  return TracedView<T, LayoutT, SinkT>(grid, sink);
+}
+
+/// Structure-cache salt of a backend: cached derived structures (macrocell
+/// grids) must not be reused across backends that place the same logical
+/// data differently. Grids delegate to their layout's salt; BrickedVolume
+/// (core/bricked.hpp) hashes its brick geometry.
+template <class T, Layout3D LayoutT>
+[[nodiscard]] inline std::uint64_t volume_cache_salt(const Grid3D<T, LayoutT>& grid) {
+  return layout_cache_salt(grid.layout());
+}
 
 }  // namespace sfcvis::core

@@ -18,6 +18,8 @@ const char* to_string(LayoutKind kind) noexcept {
       return "hilbert";
     case LayoutKind::kGMorton:
       return "gmorton";
+    case LayoutKind::kBricked:
+      return "bricked";
   }
   return "?";
 }
@@ -60,6 +62,9 @@ LayoutKind parse_layout_kind(std::string_view name) {
   }
   if (name == "gmorton" || name == "generalized-morton") {
     return LayoutKind::kGMorton;
+  }
+  if (name == "bricked") {
+    return LayoutKind::kBricked;
   }
   throw_unknown_layout(name);
 }
@@ -107,6 +112,11 @@ AnyVolume make_volume(LayoutKind kind, const Extents3D& extents, const VolumeOpt
       return AnyVolume(GMortonVolume(GeneralizedMortonLayout(extents, pattern), opts.memory,
                                      opts.first_touch));
     }
+    case LayoutKind::kBricked:
+      throw std::invalid_argument(
+          "make_volume: \"bricked\" volumes cannot be allocated blank — pack a brick "
+          "file (core::pack_brick_file or tools/brick_pack) and open it with "
+          "core::BrickedVolume::open / exec::ExecutionContext::open_bricked");
   }
   throw std::invalid_argument("unknown LayoutKind");
 }

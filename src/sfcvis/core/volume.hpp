@@ -1,5 +1,5 @@
 // Runtime volume facade: one value type over the five float Grid3D layout
-// instantiations.
+// instantiations plus the out-of-core BrickedVolume backend.
 //
 // The paper's Sec. III-C requirement is that swapping the memory layout be
 // transparent to the application. The Layout3D templates deliver that at
@@ -15,28 +15,13 @@
 #include <string_view>
 #include <variant>
 
+#include "sfcvis/core/bricked.hpp"
 #include "sfcvis/core/gmorton.hpp"
 #include "sfcvis/core/grid.hpp"
 #include "sfcvis/core/layout.hpp"
+#include "sfcvis/core/layout_kind.hpp"
 
 namespace sfcvis::core {
-
-/// The storage layouts under study, as a runtime tag.
-enum class LayoutKind : std::uint8_t {
-  kArray = 0,  ///< row-major array order (the baseline)
-  kZOrder,     ///< Morton / Z-order curve (the paper's layout)
-  kTiled,      ///< pow2-block tiling (the classic bricking alternative)
-  kHilbert,    ///< Hilbert curve (related-work SFC variant)
-  kGMorton,    ///< generalized Morton: arbitrary interleave pattern (tuner family)
-};
-
-inline constexpr LayoutKind kAllLayoutKinds[] = {LayoutKind::kArray, LayoutKind::kZOrder,
-                                                 LayoutKind::kTiled, LayoutKind::kHilbert,
-                                                 LayoutKind::kGMorton};
-
-/// Stable lowercase name ("array-order", "z-order", "tiled", "hilbert",
-/// "gmorton") — matches the static Layout3D::name() strings.
-[[nodiscard]] const char* to_string(LayoutKind kind) noexcept;
 
 /// Inverse of to_string (also accepts "array" and "zorder" shorthands).
 /// Throws std::invalid_argument for unknown names; the message lists the
@@ -72,21 +57,25 @@ struct VolumeOpts {
   FirstTouchFn first_touch{};    ///< parallel-init hook when memory.first_touch
 };
 
-/// A float volume in any of the five layouts — std::variant underneath,
-/// so it is a value type (copy/move work) and visit() recovers the static
-/// type for kernels.
+/// A float volume in any of the five in-core layouts or the out-of-core
+/// bricked backend — std::variant underneath, so it is a value type
+/// (copy/move work; a copied bricked volume shares its cache) and visit()
+/// recovers the static type for kernels.
 class AnyVolume {
  public:
   // Alternative order must track the LayoutKind enum: kind() is the
   // variant index.
-  using Variant =
-      std::variant<ArrayVolume, ZOrderVolume, TiledVolume, HilbertVolume, GMortonVolume>;
+  using Variant = std::variant<ArrayVolume, ZOrderVolume, TiledVolume, HilbertVolume,
+                               GMortonVolume, BrickedVolume>;
 
   AnyVolume() = default;
 
   /// Wraps (moves in) a concrete grid.
   template <Layout3D L>
   AnyVolume(Grid3D<float, L> grid) : v_(std::move(grid)) {}  // NOLINT(google-explicit-constructor)
+
+  /// Wraps an opened out-of-core bricked volume.
+  AnyVolume(BrickedVolume bricked) : v_(std::move(bricked)) {}  // NOLINT(google-explicit-constructor)
 
   [[nodiscard]] LayoutKind kind() const noexcept {
     return static_cast<LayoutKind>(v_.index());
@@ -114,6 +103,10 @@ class AnyVolume {
   template <Layout3D L>
   [[nodiscard]] const Grid3D<float, L>& as() const {
     return std::get<Grid3D<float, L>>(v_);
+  }
+  [[nodiscard]] BrickedVolume& as_bricked() { return std::get<BrickedVolume>(v_); }
+  [[nodiscard]] const BrickedVolume& as_bricked() const {
+    return std::get<BrickedVolume>(v_);
   }
 
   // Common Grid3D surface, forwarded through the variant.
@@ -168,6 +161,8 @@ class AnyVolume {
 /// Allocates a zeroed volume of the given layout kind — the single place
 /// the five Grid3D instantiations are spelled. For kGMorton,
 /// opts.interleave selects the pattern (empty = canonical Z-equivalent).
+/// kBricked throws std::invalid_argument: a bricked volume is opened from
+/// a packed file (pack_brick_file + BrickedVolume::open), never allocated.
 [[nodiscard]] AnyVolume make_volume(LayoutKind kind, const Extents3D& extents,
                                     const VolumeOpts& opts = {});
 

@@ -44,9 +44,11 @@ class CombustionField {
   ValueNoise3D noise_;
 };
 
-/// Fills `grid` with the combustion field at its own resolution.
-template <core::Layout3D L>
-void fill_combustion(core::Grid3D<float, L>& grid, const CombustionParams& params = {}) {
+/// Fills `grid` with the combustion field at its own resolution. Any
+/// writable volume backend works (a read-only backend, e.g. an opened
+/// bricked volume, throws from its own fill_from).
+template <class VolumeT>
+void fill_combustion(VolumeT& grid, const CombustionParams& params = {}) {
   const CombustionField model(params);
   const auto& e = grid.extents();
   grid.fill_from([&](std::uint32_t i, std::uint32_t j, std::uint32_t k) {

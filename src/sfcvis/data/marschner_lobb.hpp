@@ -34,9 +34,11 @@ struct MarschnerLobbParams {
          (2.0f * (1.0f + params.alpha));
 }
 
-/// Fills `grid` with the sampled Marschner-Lobb signal.
-template <core::Layout3D L>
-void fill_marschner_lobb(core::Grid3D<float, L>& grid,
+/// Fills `grid` with the sampled Marschner-Lobb signal. Any writable
+/// volume backend works (a read-only backend, e.g. an opened bricked
+/// volume, throws from its own fill_from).
+template <class VolumeT>
+void fill_marschner_lobb(VolumeT& grid,
                          const MarschnerLobbParams& params = {}) {
   const auto& e = grid.extents();
   grid.fill_from([&](std::uint32_t i, std::uint32_t j, std::uint32_t k) {

@@ -55,9 +55,11 @@ struct PhantomParams {
 };
 
 /// Fills `grid` with the phantom at its own resolution. Works with any
-/// layout: generation is layout-agnostic by construction.
-template <core::Layout3D L>
-void fill_mri_phantom(core::Grid3D<float, L>& grid, const PhantomParams& params = {}) {
+/// layout: generation is layout-agnostic by construction. Any writable
+/// volume backend works (a read-only backend, e.g. an opened bricked
+/// volume, throws from its own fill_from).
+template <class VolumeT>
+void fill_mri_phantom(VolumeT& grid, const PhantomParams& params = {}) {
   const MriPhantom model = MriPhantom::shepp_logan();
   const ValueNoise3D texture(params.seed);
   const ValueNoise3D noise(params.seed ^ 0x9e3779b9u);

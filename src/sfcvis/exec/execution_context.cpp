@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "sfcvis/trace/trace.hpp"
+
 namespace sfcvis::exec {
 
 const char* to_string(Backend backend) noexcept {
@@ -190,6 +192,34 @@ ResolvedLayout ExecutionContext::resolve_layout(std::string_view kernel,
              (platform.empty() ? "any" : std::string(platform)) +
              "); falling back to canonical z-order — " + layout_registry_note_;
   return out;
+}
+
+core::AnyVolume ExecutionContext::open_bricked(const std::string& path,
+                                               std::uint32_t prefetch_depth) {
+  core::BrickOpenOptions opts;
+  opts.cache_bytes = memory_.brick_cache_bytes;
+  opts.force_stream = memory_.brick_cache_bytes != 0;
+  opts.prefetch_depth = prefetch_depth;
+  SFCVIS_TRACE_SPAN("exec.open_bricked", opts.cache_bytes != 0 ? "stream" : "mmap");
+  return core::AnyVolume(core::BrickedVolume::open(path, opts));
+}
+
+core::BrickCacheReport publish_brick_cache_metrics(const core::BrickedVolume& volume) {
+  const core::BrickCacheReport delta = volume.drain_cache_deltas();
+  auto& tracer = trace::Tracer::instance();
+  static const trace::CounterId k_hit = tracer.counter_id("bricked.cache_hit");
+  static const trace::CounterId k_miss = tracer.counter_id("bricked.cache_miss");
+  static const trace::CounterId k_evict = tracer.counter_id("bricked.evictions");
+  static const trace::CounterId k_overflow = tracer.counter_id("bricked.overflow_bricks");
+  static const trace::CounterId k_pf_issued = tracer.counter_id("bricked.prefetch_issued");
+  static const trace::CounterId k_pf_hits = tracer.counter_id("bricked.prefetch_hits");
+  tracer.add(k_hit, delta.hits);
+  tracer.add(k_miss, delta.misses);
+  tracer.add(k_evict, delta.evictions);
+  tracer.add(k_overflow, delta.overflow_bricks);
+  tracer.add(k_pf_issued, delta.prefetch_issued);
+  tracer.add(k_pf_hits, delta.prefetch_hits);
+  return delta;
 }
 
 }  // namespace sfcvis::exec

@@ -198,6 +198,17 @@ class ExecutionContext {
     return make_volume(resolved.kind, extents, tile, resolved.interleave);
   }
 
+  /// Opens a packed brick file (core::pack_brick_file / tools/brick_pack)
+  /// as an out-of-core volume under this context's memory policy:
+  /// memory_policy().brick_cache_bytes == 0 maps the file, > 0 streams it
+  /// through an LRU brick cache of that byte budget. `prefetch_depth`
+  /// bricks ahead of each demand miss are loaded asynchronously along the
+  /// file's Morton order (0 disables the prefetch thread). Throws
+  /// std::runtime_error on a missing/corrupt file; resource shortfalls
+  /// degrade into the volume's cache_report() instead.
+  [[nodiscard]] core::AnyVolume open_bricked(const std::string& path,
+                                             std::uint32_t prefetch_depth = 2);
+
   // -- Tuned layouts ---------------------------------------------------------
 
   /// The layout this workload should use: the registry's tuned
@@ -232,5 +243,16 @@ class ExecutionContext {
   LayoutRegistry layout_registry_;
   std::string layout_registry_note_;
 };
+
+/// Publishes a bricked volume's cache-counter deltas since the previous
+/// call (per volume) into the trace metrics registry as "bricked.*"
+/// counters — cache_hit, cache_miss, evictions, overflow_bricks,
+/// prefetch_issued, prefetch_hits — so run reports carry a brick-cache
+/// section alongside the kernel counters (tools/trace_summary.py renders
+/// and validates it). Core stays leaf: the volume only exposes the drained
+/// deltas; the registry write happens here in the exec layer. Returns the
+/// drained delta report (fallback strings ride along) for direct
+/// inspection.
+core::BrickCacheReport publish_brick_cache_metrics(const core::BrickedVolume& volume);
 
 }  // namespace sfcvis::exec

@@ -424,8 +424,8 @@ template <bool kLut>
 /// bilateral_reference for (pz, xyz) and to bilateral_voxel's zyx order
 /// for (px, zyx); other configurations differ only by float reassociation
 /// of the tap sum (well under the 1e-5 test tolerance).
-template <core::Layout3D L>
-void bilateral_pencil_gather(const core::Grid3D<float, L>& src, core::ArrayVolume& dst,
+template <core::VolumeBackend VolT>
+void bilateral_pencil_gather(const VolT& src, core::ArrayVolume& dst,
                              const BilateralWeights& weights,
                              const BilateralParams& params, std::size_t pencil,
                              BilateralGatherScratch& scratch) {
@@ -435,7 +435,7 @@ void bilateral_pencil_gather(const core::Grid3D<float, L>& src, core::ArrayVolum
   const std::uint32_t r = weights.radius();
   const std::uint32_t W = scratch.width;
   const std::uint32_t plane_sz = scratch.plane_size;
-  const core::PlainView<float, L> view(src);
+  const auto view = core::make_read_view(src);
 
   std::uint32_t na = 0, nb = 0;
   switch (params.pencil) {
@@ -565,8 +565,8 @@ void bilateral_reference(const core::ArrayVolume& src, core::ArrayVolume& dst,
 /// source layout. With params.use_gather the pencils run the
 /// sliding-window gather fast path on per-worker scratch sized once per
 /// parallel region.
-template <core::Layout3D L>
-void bilateral_parallel(const core::Grid3D<float, L>& src, core::ArrayVolume& dst,
+template <core::VolumeBackend VolT>
+void bilateral_parallel(const VolT& src, core::ArrayVolume& dst,
                         const BilateralParams& params, exec::ExecutionContext& ctx) {
   const BilateralWeights weights(params);
   const std::size_t pencils = pencil_count(src.extents(), params.pencil);
@@ -586,11 +586,14 @@ void bilateral_parallel(const core::Grid3D<float, L>& src, core::ArrayVolume& ds
         });
     return;
   }
-  const core::PlainView<float, L> view(src);
-  ctx.parallel_static(pencils, [&](std::size_t pencil, unsigned) {
-    SFCVIS_TRACE_SPAN("bilateral.pencil", "exact", pencil);
-    bilateral_pencil(view, dst, weights, params, pencil);
-  });
+  // One read view per worker: out-of-core views carry per-worker brick
+  // pins and must not be shared across threads (a PlainView is free).
+  ctx.parallel_static_state(
+      pencils, [&](unsigned) { return core::make_read_view(src); },
+      [&](const auto& view, std::size_t pencil, unsigned) {
+        SFCVIS_TRACE_SPAN("bilateral.pencil", "exact", pencil);
+        bilateral_pencil(view, dst, weights, params, pencil);
+      });
 }
 
 /// Facade driver: dispatches on the source volume's runtime layout.
@@ -635,11 +638,10 @@ void zsweep_range(const core::ZOrderTables& tables, const core::Extents3D& e,
 /// layout is optimal for. This is the "traversal matched to layout"
 /// extension the paper's related work (Bader 2013) describes for matrix
 /// codes; bench/abl_traversal quantifies it for the bilateral filter.
-template <core::Layout3D L>
-void bilateral_zsweep(const core::Grid3D<float, L>& src, core::ArrayVolume& dst,
+template <core::VolumeBackend VolT>
+void bilateral_zsweep(const VolT& src, core::ArrayVolume& dst,
                       const BilateralParams& params, exec::ExecutionContext& ctx) {
   const BilateralWeights weights(params.radius, params.sigma_spatial);
-  const core::PlainView<float, L> view(src);
   const auto& e = src.extents();
 
   // Chunks are contiguous ranges of the *padded* curve index space, decoded
@@ -657,16 +659,21 @@ void bilateral_zsweep(const core::Grid3D<float, L>& src, core::ArrayVolume& dst,
   const std::size_t num_chunks = ctx.curve_chunks(e.size(), cap);
   const std::size_t chunk_len = (cap + num_chunks - 1) / num_chunks;
   SFCVIS_TRACE_SPAN("bilateral.zsweep", nullptr, num_chunks);
-  ctx.parallel_static(num_chunks, [&](std::size_t chunk, unsigned) {
-    SFCVIS_TRACE_SPAN("bilateral.zsweep.chunk", nullptr, chunk);
-    const std::size_t begin = chunk * chunk_len;
-    const std::size_t end = std::min(cap, begin + chunk_len);
-    detail::zsweep_range(tables, e, cubic, std::min(begin, end), end,
-                         [&](std::uint32_t i, std::uint32_t j, std::uint32_t k) {
-                           dst.at(i, j, k) = bilateral_voxel(view, i, j, k, weights,
-                                                             params.sigma_range, params.order);
-                         });
-  });
+  // One read view per worker: out-of-core views carry per-worker brick
+  // pins and must not be shared across threads (a PlainView is free).
+  ctx.parallel_static_state(
+      num_chunks, [&](unsigned) { return core::make_read_view(src); },
+      [&](const auto& view, std::size_t chunk, unsigned) {
+        SFCVIS_TRACE_SPAN("bilateral.zsweep.chunk", nullptr, chunk);
+        const std::size_t begin = chunk * chunk_len;
+        const std::size_t end = std::min(cap, begin + chunk_len);
+        detail::zsweep_range(tables, e, cubic, std::min(begin, end), end,
+                             [&](std::uint32_t i, std::uint32_t j, std::uint32_t k) {
+                               dst.at(i, j, k) =
+                                   bilateral_voxel(view, i, j, k, weights,
+                                                   params.sigma_range, params.order);
+                             });
+      });
 }
 
 /// Facade driver: dispatches on the source volume's runtime layout.
@@ -676,8 +683,8 @@ inline void bilateral_zsweep(const core::AnyVolume& src, core::ArrayVolume& dst,
 }
 
 /// Counter-collection variant of the curve-order sweep.
-template <core::Layout3D L>
-void bilateral_zsweep_traced(const core::Grid3D<float, L>& src, core::ArrayVolume& dst,
+template <core::VolumeBackend VolT>
+void bilateral_zsweep_traced(const VolT& src, core::ArrayVolume& dst,
                              const BilateralParams& params, memsim::Hierarchy& hierarchy,
                              std::size_t max_items = SIZE_MAX,
                              std::size_t chunks_per_thread = 8) {
@@ -706,7 +713,7 @@ void bilateral_zsweep_traced(const core::Grid3D<float, L>& src, core::ArrayVolum
     if (done++ >= max_items) {
       break;
     }
-    const core::TracedView<float, L, memsim::ThreadSink> view(src, sinks[assignment.tid]);
+    const auto view = core::make_traced_view(src, sinks[assignment.tid]);
     const std::size_t begin = assignment.item * chunk_len;
     const std::size_t end = std::min(cap, begin + chunk_len);
     detail::zsweep_range(tables, e, cubic, std::min(begin, end), end,
@@ -725,8 +732,8 @@ void bilateral_zsweep_traced(const core::Grid3D<float, L>& src, core::ArrayVolum
 /// it to bound simulation cost on large volumes. Both layouts replay the
 /// identical voxel set, so the scaled relative difference stays well
 /// defined (see DESIGN.md Sec. 4).
-template <core::Layout3D L>
-void bilateral_traced(const core::Grid3D<float, L>& src, core::ArrayVolume& dst,
+template <core::VolumeBackend VolT>
+void bilateral_traced(const VolT& src, core::ArrayVolume& dst,
                       const BilateralParams& params, memsim::Hierarchy& hierarchy,
                       std::size_t max_items = SIZE_MAX) {
   const BilateralWeights weights(params.radius, params.sigma_spatial);
@@ -743,7 +750,7 @@ void bilateral_traced(const core::Grid3D<float, L>& src, core::ArrayVolume& dst,
     if (done++ >= max_items) {
       break;
     }
-    const core::TracedView<float, L, memsim::ThreadSink> view(src, sinks[assignment.tid]);
+    const auto view = core::make_traced_view(src, sinks[assignment.tid]);
     bilateral_pencil(view, dst, weights, params, assignment.item);
   }
 }

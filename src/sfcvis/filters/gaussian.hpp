@@ -84,14 +84,14 @@ struct GaussianGatherScratch {
 /// by float reassociation of the tap sum and of the precomputed weight
 /// products (well inside the kernels' 1e-5 test tolerance); the per-pencil
 /// result does not depend on the source layout.
-template <core::Layout3D L>
-void gaussian_pencil_gather(const core::Grid3D<float, L>& src, core::ArrayVolume& dst,
+template <core::VolumeBackend VolT>
+void gaussian_pencil_gather(const VolT& src, core::ArrayVolume& dst,
                             const std::vector<float>& taps, std::size_t p,
                             GaussianGatherScratch& scratch) {
   const auto& e = src.extents();
   const auto j = static_cast<std::uint32_t>(p % e.ny);
   const auto k = static_cast<std::uint32_t>(p / e.ny);
-  const core::PlainView<float, L> view(src);
+  const auto view = core::make_read_view(src);
   const auto r = static_cast<std::uint32_t>(taps.size() / 2);
   const std::uint32_t W = scratch.width;
   const std::uint32_t plane_sz = scratch.plane_size;
@@ -147,12 +147,10 @@ void gaussian_pencil_gather(const core::Grid3D<float, L>& src, core::ArrayVolume
 /// pencils run the sliding-window gather + explicit-SIMD fast path on
 /// per-worker scratch (bench/abl_simd quantifies the speedup); off keeps
 /// the per-voxel access stream the layout study measures.
-template <core::Layout3D L>
-void gaussian_convolve(const core::Grid3D<float, L>& src, core::ArrayVolume& dst,
-                       unsigned radius, float sigma, exec::ExecutionContext& ctx,
-                       bool use_gather = false) {
+template <core::VolumeBackend VolT>
+void gaussian_convolve(const VolT& src, core::ArrayVolume& dst, unsigned radius,
+                       float sigma, exec::ExecutionContext& ctx, bool use_gather = false) {
   const auto taps = gaussian_kernel_1d(radius, sigma);
-  const core::PlainView<float, L> view(src);
   const auto& e = src.extents();
   const std::size_t pencils = static_cast<std::size_t>(e.ny) * e.nz;
   if (use_gather) {
@@ -168,13 +166,17 @@ void gaussian_convolve(const core::Grid3D<float, L>& src, core::ArrayVolume& dst
         });
     return;
   }
-  ctx.parallel_static(pencils, [&](std::size_t p, unsigned) {
-    const auto j = static_cast<std::uint32_t>(p % e.ny);
-    const auto k = static_cast<std::uint32_t>(p / e.ny);
-    for (std::uint32_t i = 0; i < e.nx; ++i) {
-      dst.at(i, j, k) = gaussian_voxel(view, i, j, k, taps);
-    }
-  });
+  // One read view per worker: out-of-core views carry per-worker brick
+  // pins and must not be shared across threads (a PlainView is free).
+  ctx.parallel_static_state(
+      pencils, [&](unsigned) { return core::make_read_view(src); },
+      [&](const auto& view, std::size_t p, unsigned) {
+        const auto j = static_cast<std::uint32_t>(p % e.ny);
+        const auto k = static_cast<std::uint32_t>(p / e.ny);
+        for (std::uint32_t i = 0; i < e.nx; ++i) {
+          dst.at(i, j, k) = gaussian_voxel(view, i, j, k, taps);
+        }
+      });
 }
 
 /// Facade driver: dispatches on the source volume's runtime layout.

@@ -27,20 +27,23 @@ template <core::ReadView3D View>
 }
 
 /// Parallel gradient-magnitude field over x-pencils.
-template <core::Layout3D L>
-void gradient_magnitude(const core::Grid3D<float, L>& src, core::ArrayVolume& dst,
+template <core::VolumeBackend VolT>
+void gradient_magnitude(const VolT& src, core::ArrayVolume& dst,
                         exec::ExecutionContext& ctx) {
-  const core::PlainView<float, L> view(src);
   const auto& e = src.extents();
   const std::size_t pencils = static_cast<std::size_t>(e.ny) * e.nz;
-  ctx.parallel_static(pencils, [&](std::size_t p, unsigned) {
-    const auto j = static_cast<std::uint32_t>(p % e.ny);
-    const auto k = static_cast<std::uint32_t>(p / e.ny);
-    for (std::uint32_t i = 0; i < e.nx; ++i) {
-      const auto g = gradient_voxel(view, i, j, k);
-      dst.at(i, j, k) = std::sqrt(g[0] * g[0] + g[1] * g[1] + g[2] * g[2]);
-    }
-  });
+  // One read view per worker: out-of-core views carry per-worker brick
+  // pins and must not be shared across threads (a PlainView is free).
+  ctx.parallel_static_state(
+      pencils, [&](unsigned) { return core::make_read_view(src); },
+      [&](const auto& view, std::size_t p, unsigned) {
+        const auto j = static_cast<std::uint32_t>(p % e.ny);
+        const auto k = static_cast<std::uint32_t>(p / e.ny);
+        for (std::uint32_t i = 0; i < e.nx; ++i) {
+          const auto g = gradient_voxel(view, i, j, k);
+          dst.at(i, j, k) = std::sqrt(g[0] * g[0] + g[1] * g[1] + g[2] * g[2]);
+        }
+      });
 }
 
 /// Facade driver: dispatches on the source volume's runtime layout.

@@ -40,22 +40,25 @@ template <core::ReadView3D View>
 }
 
 /// Parallel 3D median filter over x-pencils.
-template <core::Layout3D L>
-void median_filter(const core::Grid3D<float, L>& src, core::ArrayVolume& dst,
+template <core::VolumeBackend VolT>
+void median_filter(const VolT& src, core::ArrayVolume& dst,
                    unsigned radius, exec::ExecutionContext& ctx) {
-  const core::PlainView<float, L> view(src);
   const auto& e = src.extents();
   const std::size_t pencils = static_cast<std::size_t>(e.ny) * e.nz;
   const std::size_t taps = static_cast<std::size_t>(2 * radius + 1);
-  ctx.parallel_static(pencils, [&, taps](std::size_t p, unsigned) {
-    std::vector<float> scratch;
-    scratch.reserve(taps * taps * taps);
-    const auto j = static_cast<std::uint32_t>(p % e.ny);
-    const auto k = static_cast<std::uint32_t>(p / e.ny);
-    for (std::uint32_t i = 0; i < e.nx; ++i) {
-      dst.at(i, j, k) = median_voxel(view, i, j, k, radius, scratch);
-    }
-  });
+  // One read view per worker: out-of-core views carry per-worker brick
+  // pins and must not be shared across threads (a PlainView is free).
+  ctx.parallel_static_state(
+      pencils, [&](unsigned) { return core::make_read_view(src); },
+      [&, taps](const auto& view, std::size_t p, unsigned) {
+        std::vector<float> scratch;
+        scratch.reserve(taps * taps * taps);
+        const auto j = static_cast<std::uint32_t>(p % e.ny);
+        const auto k = static_cast<std::uint32_t>(p / e.ny);
+        for (std::uint32_t i = 0; i < e.nx; ++i) {
+          dst.at(i, j, k) = median_voxel(view, i, j, k, radius, scratch);
+        }
+      });
 }
 
 /// Facade driver: dispatches on the source volume's runtime layout.

@@ -67,8 +67,8 @@ class MacrocellGrid {
   /// `block` is zero. When `ctx` is non-null the cells are computed in
   /// parallel on its dynamic dispatch; the result is identical either
   /// way (each cell is written exactly once).
-  template <core::Layout3D L>
-  [[nodiscard]] static MacrocellGrid build(const core::Grid3D<float, L>& volume,
+  template <core::VolumeBackend VolT>
+  [[nodiscard]] static MacrocellGrid build(const VolT& volume,
                                            std::uint32_t block = 8,
                                            exec::ExecutionContext* ctx = nullptr);
 
@@ -134,8 +134,8 @@ class MacrocellGrid {
   }
 
  private:
-  template <core::Layout3D L>
-  static void compute_cell(const core::Grid3D<float, L>& volume, std::uint32_t block,
+  template <core::VolumeBackend VolT, core::ReadView3D ViewT>
+  static void compute_cell(const VolT& volume, const ViewT& view, std::uint32_t block,
                            const CellCoord& c, float& out_min, float& out_max);
 
   core::Extents3D volume_{};
@@ -149,8 +149,8 @@ class MacrocellGrid {
 // Build
 // ---------------------------------------------------------------------------
 
-template <core::Layout3D L>
-void MacrocellGrid::compute_cell(const core::Grid3D<float, L>& volume, std::uint32_t block,
+template <core::VolumeBackend VolT, core::ReadView3D ViewT>
+void MacrocellGrid::compute_cell(const VolT& volume, const ViewT& view, std::uint32_t block,
                                  const CellCoord& c, float& out_min, float& out_max) {
   const auto& e = volume.extents();
   const std::int64_t b = block;
@@ -170,9 +170,9 @@ void MacrocellGrid::compute_cell(const core::Grid3D<float, L>& volume, std::uint
     for (std::int64_t k = k0; k <= k1; ++k) {
       for (std::int64_t j = j0; j <= j1; ++j) {
         for (std::int64_t i = i0; i <= i1; ++i) {
-          const float v = volume.at(static_cast<std::uint32_t>(i),
-                                    static_cast<std::uint32_t>(j),
-                                    static_cast<std::uint32_t>(k));
+          const float v = view.at(static_cast<std::uint32_t>(i),
+                                  static_cast<std::uint32_t>(j),
+                                  static_cast<std::uint32_t>(k));
           mn = std::min(mn, v);
           mx = std::max(mx, v);
         }
@@ -181,32 +181,36 @@ void MacrocellGrid::compute_cell(const core::Grid3D<float, L>& volume, std::uint
   };
 
   bool core_done = false;
-  if constexpr (std::is_same_v<L, core::ZOrderLayout>) {
-    // Layout-aware path: a 2^b-aligned block that lies fully inside the
-    // logical extents is one contiguous run of storage — scan it linearly
-    // and sweep only the one-voxel footprint shell through the indexer.
-    const std::int64_t cx0 = c.i * b, cy0 = c.j * b, cz0 = c.k * b;
-    const std::int64_t cx1 = cx0 + b - 1, cy1 = cy0 + b - 1, cz1 = cz0 + b - 1;
-    if (std::has_single_bit(block) && cx1 < e.nx && cy1 < e.ny && cz1 < e.nz &&
-        core::zorder_blocks_contiguous(volume.layout().tables(),
-                                       core::log2_pow2(block))) {
-      const std::size_t base = volume.layout().index(static_cast<std::uint32_t>(cx0),
-                                                     static_cast<std::uint32_t>(cy0),
-                                                     static_cast<std::uint32_t>(cz0));
-      const float* p = volume.data() + base;
-      const std::size_t n = static_cast<std::size_t>(block) * block * block;
-      for (std::size_t v = 0; v < n; ++v) {
-        mn = std::min(mn, p[v]);
-        mx = std::max(mx, p[v]);
+  // Layout-aware fast path only exists for in-core grids (out-of-core
+  // backends have no layout()/contiguous storage to scan linearly).
+  if constexpr (requires { typename VolT::layout_type; }) {
+    if constexpr (std::is_same_v<typename VolT::layout_type, core::ZOrderLayout>) {
+      // Layout-aware path: a 2^b-aligned block that lies fully inside the
+      // logical extents is one contiguous run of storage — scan it linearly
+      // and sweep only the one-voxel footprint shell through the indexer.
+      const std::int64_t cx0 = c.i * b, cy0 = c.j * b, cz0 = c.k * b;
+      const std::int64_t cx1 = cx0 + b - 1, cy1 = cy0 + b - 1, cz1 = cz0 + b - 1;
+      if (std::has_single_bit(block) && cx1 < e.nx && cy1 < e.ny && cz1 < e.nz &&
+          core::zorder_blocks_contiguous(volume.layout().tables(),
+                                         core::log2_pow2(block))) {
+        const std::size_t base = volume.layout().index(static_cast<std::uint32_t>(cx0),
+                                                       static_cast<std::uint32_t>(cy0),
+                                                       static_cast<std::uint32_t>(cz0));
+        const float* p = volume.data() + base;
+        const std::size_t n = static_cast<std::size_t>(block) * block * block;
+        for (std::size_t v = 0; v < n; ++v) {
+          mn = std::min(mn, p[v]);
+          mx = std::max(mx, p[v]);
+        }
+        // Shell = footprint minus core, as six disjoint slabs.
+        scan(x0, cx0 - 1, y0, y1, z0, z1);
+        scan(cx1 + 1, x1, y0, y1, z0, z1);
+        scan(cx0, cx1, y0, cy0 - 1, z0, z1);
+        scan(cx0, cx1, cy1 + 1, y1, z0, z1);
+        scan(cx0, cx1, cy0, cy1, z0, cz0 - 1);
+        scan(cx0, cx1, cy0, cy1, cz1 + 1, z1);
+        core_done = true;
       }
-      // Shell = footprint minus core, as six disjoint slabs.
-      scan(x0, cx0 - 1, y0, y1, z0, z1);
-      scan(cx1 + 1, x1, y0, y1, z0, z1);
-      scan(cx0, cx1, y0, cy0 - 1, z0, z1);
-      scan(cx0, cx1, cy1 + 1, y1, z0, z1);
-      scan(cx0, cx1, cy0, cy1, z0, cz0 - 1);
-      scan(cx0, cx1, cy0, cy1, cz1 + 1, z1);
-      core_done = true;
     }
   }
   if (!core_done) {
@@ -216,8 +220,8 @@ void MacrocellGrid::compute_cell(const core::Grid3D<float, L>& volume, std::uint
   out_max = mx;
 }
 
-template <core::Layout3D L>
-MacrocellGrid MacrocellGrid::build(const core::Grid3D<float, L>& volume, std::uint32_t block,
+template <core::VolumeBackend VolT>
+MacrocellGrid MacrocellGrid::build(const VolT& volume, std::uint32_t block,
                                    exec::ExecutionContext* ctx) {
   MacrocellGrid grid;
   SFCVIS_TRACE_SPAN("macrocell.build", ctx != nullptr ? "parallel" : "serial");
@@ -235,14 +239,22 @@ MacrocellGrid MacrocellGrid::build(const core::Grid3D<float, L>& volume, std::ui
     const std::uint32_t cz = static_cast<std::uint32_t>(idx / (static_cast<std::size_t>(grid.cells_.nx) * grid.cells_.ny));
     return CellCoord{cx, cy, cz};
   };
-  const auto job = [&](std::size_t idx) {
-    compute_cell(volume, block, cell_at(idx), grid.min_[idx], grid.max_[idx]);
-  };
   if (ctx != nullptr) {
-    ctx->parallel_dynamic(n, [&](std::size_t idx, unsigned) { job(idx); });
+    // One read view per worker: out-of-core views carry per-worker brick
+    // pins and must not be shared across threads (a PlainView is free).
+    std::vector<decltype(core::make_read_view(volume))> views;
+    views.reserve(ctx->size());
+    for (unsigned t = 0; t < ctx->size(); ++t) {
+      views.push_back(core::make_read_view(volume));
+    }
+    ctx->parallel_dynamic(n, [&](std::size_t idx, unsigned tid) {
+      compute_cell(volume, views[tid], block, cell_at(idx), grid.min_[idx],
+                   grid.max_[idx]);
+    });
   } else {
+    const auto view = core::make_read_view(volume);
     for (std::size_t idx = 0; idx < n; ++idx) {
-      job(idx);
+      compute_cell(volume, view, block, cell_at(idx), grid.min_[idx], grid.max_[idx]);
     }
   }
   return grid;

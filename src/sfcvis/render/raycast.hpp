@@ -444,15 +444,14 @@ namespace detail {
 /// worker folds its tile-local RayStats into the metrics registry
 /// ("raycast.*" counters; read them via Tracer::metrics_snapshot /
 /// render::skip_rate).
-template <core::Layout3D L>
-[[nodiscard]] Image raycast_parallel(const core::Grid3D<float, L>& volume,
+template <core::VolumeBackend VolT>
+[[nodiscard]] Image raycast_parallel(const VolT& volume,
                                      const Camera& camera, const TransferFunction& tf,
                                      const RenderConfig& config, exec::ExecutionContext& ctx,
                                      const MacrocellGrid* cells = nullptr,
                                      bool collect_stats = false) {
   validate_packet_size(config.packet_size);
   Image image(config.image_width, config.image_height);
-  const core::PlainView<float, L> view(volume);
   std::shared_ptr<const MacrocellGrid> cached_cells;
   const MacrocellGrid* use_cells = nullptr;
   if (config.use_macrocells) {
@@ -460,7 +459,7 @@ template <core::Layout3D L>
       cached_cells = ctx.structures().get_or_build<MacrocellGrid>(
           volume.data(),
           detail::macrocell_cache_key(volume.extents(), config.macrocell_size,
-                                      core::layout_cache_salt(volume.layout())),
+                                      core::volume_cache_salt(volume)),
           [&] { return MacrocellGrid::build(volume, config.macrocell_size, &ctx); });
       cells = cached_cells.get();
     }
@@ -469,10 +468,17 @@ template <core::Layout3D L>
   const TileDecomposition tiles(config.image_width, config.image_height, config.tile_size);
   SFCVIS_TRACE_SPAN("raycast.parallel", use_cells != nullptr ? "macrocell" : "dense",
                     tiles.count());
-  ctx.parallel_dynamic(tiles.count(), [&](std::size_t t, unsigned) {
+  // One read view per worker: out-of-core views carry per-worker brick
+  // pins and must not be shared across threads (a PlainView is free).
+  std::vector<decltype(core::make_read_view(volume))> views;
+  views.reserve(ctx.size());
+  for (unsigned t = 0; t < ctx.size(); ++t) {
+    views.push_back(core::make_read_view(volume));
+  }
+  ctx.parallel_dynamic(tiles.count(), [&](std::size_t t, unsigned tid) {
     SFCVIS_TRACE_SPAN("raycast.tile", nullptr, t);
     RayStats tile_stats;
-    render_tile(view, camera, tf, config, image, tiles.bounds(t), use_cells,
+    render_tile(views[tid], camera, tf, config, image, tiles.bounds(t), use_cells,
                 collect_stats ? &tile_stats : nullptr);
     if (collect_stats) {
       detail::fold_ray_stats(tile_stats);
@@ -504,8 +510,8 @@ template <core::Layout3D L>
 /// render, so the modeled counters measure the reduced access stream; the
 /// macrocell summary itself is metadata and is not traced (it is built
 /// once, not read per-frame in proportion to the volume).
-template <core::Layout3D L>
-[[nodiscard]] Image raycast_traced(const core::Grid3D<float, L>& volume,
+template <core::VolumeBackend VolT>
+[[nodiscard]] Image raycast_traced(const VolT& volume,
                                    const Camera& camera, const TransferFunction& tf,
                                    const RenderConfig& config, memsim::Hierarchy& hierarchy,
                                    std::size_t max_items = SIZE_MAX,
@@ -538,7 +544,7 @@ template <core::Layout3D L>
     if (done++ >= max_items) {
       break;
     }
-    const core::TracedView<float, L, memsim::ThreadSink> view(volume, sinks[assignment.tid]);
+    const auto view = core::make_traced_view(volume, sinks[assignment.tid]);
     RayStats tile_stats;
     render_tile(view, camera, tf, config, image, tiles.bounds(assignment.item), use_cells,
                 collect_stats ? &tile_stats : nullptr);

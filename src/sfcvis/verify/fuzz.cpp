@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <filesystem>
 #include <sstream>
+#include <string>
 #include <utility>
 #include <vector>
 
+#include "sfcvis/core/brick_file.hpp"
+#include "sfcvis/core/bricked.hpp"
 #include "sfcvis/core/gather.hpp"
 #include "sfcvis/core/grid.hpp"
 #include "sfcvis/core/layout.hpp"
@@ -126,6 +130,11 @@ struct VolumeSet {
   AnyVolume tiled;
   AnyVolume hilbert;
   AnyVolume gmorton;
+  /// Out-of-core mirror of the same contents: the array volume packed to a
+  /// temporary brick file (random brick edge / inner layout) and re-opened,
+  /// usually through the streamed LRU cache with a budget below the working
+  /// set so eviction and re-fault paths run on every case.
+  AnyVolume bricked;
 };
 
 /// A uniformly random valid interleave string for `e`: Fisher-Yates over the
@@ -138,6 +147,46 @@ std::string random_interleave(const Extents3D& e, SplitMix64& rng) {
   return s;
 }
 
+/// Packs `src` to a temporary brick file with randomized geometry and
+/// re-opens it. The temp file is removed right after open — on POSIX the
+/// open descriptor / mapping keeps the payload readable, so no case leaves
+/// files behind even when a check fails.
+AnyVolume make_bricked_mirror(const AnyVolume& src, SplitMix64& rng,
+                              std::ostringstream& desc) {
+  namespace fs = std::filesystem;
+  core::BrickPackOptions popts;
+  static constexpr std::uint32_t kEdges[] = {8, 16, 32};
+  popts.brick_edge = rng.pick(kEdges);
+  popts.inner_kind = static_cast<LayoutKind>(rng.below(5));
+  static constexpr std::uint32_t kInnerTiles[] = {2, 4, 8};
+  popts.inner_tile = rng.pick(kInnerTiles);
+  if (popts.inner_kind == LayoutKind::kGMorton && rng.chance(60)) {
+    popts.interleave = random_interleave(Extents3D::cube(popts.brick_edge), rng);
+  }
+  const fs::path path =
+      fs::temp_directory_path() /
+      ("sfcvis_fuzz_" + std::to_string(rng.next()) + "_" + std::to_string(rng.next()) +
+       ".sfcbrk");
+  const core::BrickFileInfo info = core::pack_brick_file(path.string(), src, popts);
+
+  core::BrickOpenOptions oopts;
+  oopts.prefetch_depth = static_cast<std::uint32_t>(rng.below(4));
+  if (rng.chance(75)) {
+    // Streamed LRU cache with a budget below the working set whenever the
+    // file has more than one brick, so demand faults and evictions happen.
+    const std::uint64_t resident =
+        info.brick_count > 1 ? rng.range(1, info.brick_count - 1) : 1;
+    oopts.cache_bytes = static_cast<std::size_t>(resident) * info.brick_bytes();
+    oopts.force_stream = true;
+  }
+  core::BrickedVolume vol = core::BrickedVolume::open(path.string(), oopts);
+  std::error_code ec;
+  fs::remove(path, ec);
+  desc << " bricked=e" << popts.brick_edge << ":" << core::to_string(popts.inner_kind)
+       << (vol.mmapped() ? ":mmap" : ":stream") << ":pf" << oopts.prefetch_depth;
+  return AnyVolume(std::move(vol));
+}
+
 VolumeSet make_volumes(const Extents3D& e, std::uint64_t content_seed, unsigned kind,
                        std::uint32_t tile, SplitMix64& rng, std::ostringstream& desc) {
   core::VolumeOpts opts;
@@ -147,7 +196,8 @@ VolumeSet make_volumes(const Extents3D& e, std::uint64_t content_seed, unsigned 
               core::make_volume(LayoutKind::kZOrder, e, opts),
               core::make_volume(LayoutKind::kTiled, e, opts),
               core::make_volume(LayoutKind::kHilbert, e, opts),
-              core::make_volume(LayoutKind::kGMorton, e, opts)};
+              core::make_volume(LayoutKind::kGMorton, e, opts),
+              AnyVolume{}};
   const auto fill = [&](auto& grid) {
     grid.fill_from([&](std::uint32_t i, std::uint32_t j, std::uint32_t k) {
       return field_value(content_seed, kind, e, i, j, k);
@@ -159,6 +209,7 @@ VolumeSet make_volumes(const Extents3D& e, std::uint64_t content_seed, unsigned 
   fill(v.hilbert);
   fill(v.gmorton);
   desc << " fill=" << kind << " tile=" << tile << " gmorton=" << opts.interleave;
+  v.bricked = make_bricked_mirror(v.array, rng, desc);
   return v;
 }
 
@@ -172,9 +223,13 @@ VolumeSet make_volumes(const Extents3D& e, std::uint64_t content_seed, unsigned 
 /// bilateral path trusts; the ZOrderLayout overload walks the curve
 /// incrementally, so misbehaviour shows up here before it smears into a
 /// whole filtered volume.
-template <core::Layout3D L>
-void spot_check_gather(FuzzSummary& summary, const Grid3D<float, L>& grid,
+template <core::VolumeBackend VolT>
+void spot_check_gather(FuzzSummary& summary, const VolT& grid,
                        SplitMix64& rng, unsigned rows) {
+  const char* backend_name = "bricked";
+  if constexpr (requires { typename VolT::layout_type; }) {
+    backend_name = VolT::layout_type::name().data();
+  }
   const Extents3D& e = grid.extents();
   for (unsigned rep = 0; rep < rows; ++rep) {
     const auto axis = static_cast<core::Axis3>(rng.below(3));
@@ -192,7 +247,7 @@ void spot_check_gather(FuzzSummary& summary, const Grid3D<float, L>& grid,
     core::gather_row(grid, axis, i, j, k, count, out.data());
 
     std::ostringstream ctx;
-    ctx << "gather_row [" << L::name() << "] axis=" << static_cast<int>(axis) << " start=("
+    ctx << "gather_row [" << backend_name << "] axis=" << static_cast<int>(axis) << " start=("
         << i << "," << j << "," << k << ") count=" << count;
     const std::uint32_t start = along;
     record(summary, detail::compare_elements(
@@ -307,6 +362,8 @@ void fuzz_bilateral(FuzzSummary& summary, const VolumeSet& vols, SplitMix64& rng
                                   Tolerance::bit_identical(), label + " [hilbert vs array]"));
     record(summary, compare_grids(oracle, run_bilateral(vols.gmorton, p, pool),
                                   Tolerance::bit_identical(), label + " [gmorton vs array]"));
+    record(summary, compare_grids(oracle, run_bilateral(vols.bricked, p, pool),
+                                  Tolerance::bit_identical(), label + " [bricked vs array]"));
 
     ArrayGrid reference(ArrayOrderLayout(vols.array.extents()));
     filters::bilateral_reference(vols.array.as<ArrayOrderLayout>(), reference, p.radius,
@@ -372,6 +429,7 @@ void fuzz_smoother(FuzzSummary& summary, const VolumeSet& vols, SplitMix64& rng,
     check(vols.tiled, "tiled");
     check(vols.hilbert, "hilbert");
     check(vols.gmorton, "gmorton");
+    check(vols.bricked, "bricked");
   } else {
     desc << " | median r1";
     filters::median_filter(vols.array, oracle, 1, pool);
@@ -384,6 +442,7 @@ void fuzz_smoother(FuzzSummary& summary, const VolumeSet& vols, SplitMix64& rng,
     check(vols.tiled, "tiled");
     check(vols.hilbert, "hilbert");
     check(vols.gmorton, "gmorton");
+    check(vols.bricked, "bricked");
   }
 }
 
@@ -428,6 +487,9 @@ void fuzz_raycast(FuzzSummary& summary, const VolumeSet& vols, SplitMix64& rng,
   record(summary,
          compare_images(base, render::raycast_parallel(vols.gmorton, camera, tf, cfg, pool),
                         Tolerance::bit_identical(), label.str() + " [gmorton vs array]"));
+  record(summary,
+         compare_images(base, render::raycast_parallel(vols.bricked, camera, tf, cfg, pool),
+                        Tolerance::bit_identical(), label.str() + " [bricked vs array]"));
 
   cfg.use_macrocells = true;
   record(summary, compare_images(base, render::raycast_parallel(vols.array, camera, tf, cfg, pool),
@@ -443,6 +505,14 @@ void fuzz_raycast(FuzzSummary& summary, const VolumeSet& vols, SplitMix64& rng,
          compare_images(base, render::raycast_parallel(vols.gmorton, camera, tf, cfg, pool),
                         Tolerance::bit_identical(),
                         label.str() + " [macrocells on vs off, gmorton]"));
+  // The bricked backend through the macrocell path also exercises per-brick
+  // structure caching (owner = the backend's stable data() sentinel, salt =
+  // its brick/inner-layout hash) and empty-space skipping over a streamed
+  // cache smaller than the working set.
+  record(summary,
+         compare_images(base, render::raycast_parallel(vols.bricked, camera, tf, cfg, pool),
+                        Tolerance::bit_identical(),
+                        label.str() + " [macrocells on vs off, bricked]"));
 
   // Ray packets must reproduce the scalar traversal bit-for-bit in every
   // mode drawn above (composite/MIP, shaded or not): per-lane control flow
@@ -497,6 +567,7 @@ FuzzSummary run_fuzz_case(std::uint64_t seed, const FuzzOptions& opts) {
   spot(vols.tiled, 3);
   spot(vols.hilbert, 3);
   spot(vols.gmorton, 3);
+  spot(vols.bricked, 3);
 
   fuzz_bilateral(summary, vols, rng, opts.quick, pool, desc);
   fuzz_smoother(summary, vols, rng, pool, desc);

@@ -88,6 +88,20 @@ BENCHES = [
             "abl_simd_bilateral_ms.csv": "advisory",
         },
     },
+    {
+        "binary": "abl_out_of_core",
+        "args": ["--quick"],
+        "tables": {
+            # Deterministic LRU replay of a stencil sweep at working set =
+            # 4x cache budget: demand faults / codec ops / modeled cost of
+            # SFC brick hops + curve-order prefetch vs decode-recompute.
+            "abl_ooc_sim.csv": "lower",
+            # Live brick-cache counters and wall clock depend on thread
+            # interleaving and the machine: record, never gate.
+            "abl_ooc_brickcache.csv": "advisory",
+            "abl_ooc_runtime.csv": "advisory",
+        },
+    },
 ]
 
 # Baseline cells with magnitude below this are compared absolutely (a

@@ -143,6 +143,44 @@ def validate_report(doc, path):
             raise ValidationError(
                 f"{path}: table {table.get('name', '?')} cells do not match "
                 f"its row/col labels ({rows}x{cols})")
+    validate_brick_cache(doc, path, required=False)
+
+
+def brick_cache_totals(doc):
+    """The report's 'bricked.*' metric totals (exec::publish_brick_cache_
+    metrics), or an empty dict when the run had no bricked volume."""
+    return {m["name"]: m["total"] for m in doc.get("metrics", [])
+            if m["name"].startswith("bricked.")}
+
+
+def validate_brick_cache(doc, path, required):
+    """Checks the out-of-core brick-cache section of a run report.
+
+    When any 'bricked.*' counter is present, the hit/miss pair must both
+    exist (a publish always writes the full set) and a prefetch hit must
+    imply an issued prefetch. With required=True (CI's out-of-core smoke
+    job), a report without the section fails outright.
+    """
+    brick = brick_cache_totals(doc)
+    if not brick:
+        if required:
+            raise ValidationError(
+                f"{path}: no bricked.* metrics — the run never published "
+                f"brick-cache counters (exec::publish_brick_cache_metrics)")
+        return
+    for key in ("bricked.cache_hit", "bricked.cache_miss"):
+        if key not in brick:
+            raise ValidationError(
+                f"{path}: brick-cache section incomplete: missing '{key}'")
+    if brick.get("bricked.prefetch_hits", 0) > 0 and \
+            brick.get("bricked.prefetch_issued", 0) == 0:
+        raise ValidationError(
+            f"{path}: brick-cache reports prefetch hits without any issued "
+            f"prefetches")
+    if required and brick["bricked.cache_hit"] + brick["bricked.cache_miss"] == 0:
+        raise ValidationError(
+            f"{path}: brick-cache section present but never touched "
+            f"(0 hits + 0 misses)")
 
 
 # ---------------------------------------------------------------------------
@@ -204,6 +242,19 @@ def summarize_report(doc, path):
             drop = f", dropped {fmt_count(t['dropped'])}" if t["dropped"] else ""
             print(f"  {who:<12} {fmt_count(t['spans'])} spans{drop}")
 
+    brick = brick_cache_totals(doc)
+    if brick:
+        hits = brick.get("bricked.cache_hit", 0)
+        misses = brick.get("bricked.cache_miss", 0)
+        total = hits + misses
+        rate = f"{hits / total:.1%}" if total else "n/a"
+        print(f"\nbrick cache: {fmt_count(hits)} hits / {fmt_count(misses)} "
+              f"misses (hit rate {rate})")
+        print(f"  evictions {fmt_count(brick.get('bricked.evictions', 0))}  "
+              f"overflow {fmt_count(brick.get('bricked.overflow_bricks', 0))}  "
+              f"prefetch {fmt_count(brick.get('bricked.prefetch_hits', 0))}/"
+              f"{fmt_count(brick.get('bricked.prefetch_issued', 0))} hit/issued")
+
     if doc["metrics"]:
         print("\nmetrics:")
         for m in doc["metrics"]:
@@ -242,6 +293,9 @@ def main():
     parser.add_argument("files", nargs="+", help="run report / trace JSON files")
     parser.add_argument("--validate", action="store_true",
                         help="check structure instead of printing a summary")
+    parser.add_argument("--require-brick-cache", action="store_true",
+                        help="with --validate: fail a run report that carries "
+                             "no (or an untouched) bricked.* cache section")
     args = parser.parse_args()
 
     failures = 0
@@ -255,6 +309,8 @@ def main():
         if args.validate:
             try:
                 (validate_report if kind == "report" else validate_trace)(doc, path)
+                if args.require_brick_cache and kind == "report":
+                    validate_brick_cache(doc, path, required=True)
                 print(f"[trace_summary] OK: {path} ({kind})")
             except ValidationError as e:
                 print(f"[trace_summary] FAIL: {e}", file=sys.stderr)
