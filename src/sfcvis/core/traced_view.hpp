@@ -16,7 +16,9 @@
 // array-order buffer in both configurations.
 #pragma once
 
+#include <concepts>
 #include <cstdint>
+#include <utility>
 
 #include "sfcvis/core/gmorton.hpp"
 #include "sfcvis/core/grid.hpp"
@@ -39,6 +41,20 @@ template <class S>
 concept AccessSink = requires(S sink, std::uint64_t addr, std::uint32_t bytes) {
   sink.access(addr, bytes);
 };
+
+/// Provides one AccessSink per simulated thread of a traced replay. The
+/// traced kernel drivers (bilateral_traced, raycast_traced, ...) are
+/// templated on this instead of naming a concrete consumer, so the same
+/// deterministic replay feeds either the modeled cache hierarchy
+/// (memsim::Hierarchy) or the reuse-distance profiler
+/// (locality::LocalityProfiler). Sinks returned by sink() are cheap value
+/// types bound to the provider; the replay itself stays single-threaded,
+/// so providers need no internal synchronization.
+template <class P>
+concept SinkProvider = requires(P provider, unsigned tid) {
+  { provider.num_threads() } -> std::convertible_to<unsigned>;
+  { provider.sink(tid) };
+} && AccessSink<decltype(std::declval<P&>().sink(0u))>;
 
 /// Zero-overhead read view; simply forwards to the grid.
 template <class T, Layout3D LayoutT>

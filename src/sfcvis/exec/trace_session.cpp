@@ -1,10 +1,66 @@
 #include "sfcvis/exec/trace_session.hpp"
 
+#include <atomic>
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 
 #include "sfcvis/trace/trace.hpp"
 
 namespace sfcvis::exec {
+
+namespace {
+
+// Abnormal-exit flush: a run killed by Ctrl-C or a std::exit deep in a
+// library would otherwise drop every buffered span and table — the trace
+// file simply never gets written. The atexit hook covers std::exit; the
+// signal hooks cover termination signals on a best-effort basis (finish()
+// allocates and formats JSON, which is not async-signal-safe, so the
+// handler first restores the default disposition: a second fault during
+// the flush terminates the process instead of looping). Handlers are only
+// installed over SIG_DFL — a host that set its own handler keeps it.
+std::atomic<bool> g_flush_hooks_installed{false};
+std::atomic<bool> g_flushing{false};
+
+void flush_current_session() noexcept {
+  if (g_flushing.exchange(true)) {
+    return;  // a flush is already running (or already ran) on this path
+  }
+  if (TraceSession* session = TraceSession::current()) {
+    session->finish();
+  }
+  g_flushing.store(false);
+}
+
+extern "C" void sfcvis_trace_atexit_flush() { flush_current_session(); }
+
+extern "C" void sfcvis_trace_signal_flush(int signo) {
+  std::signal(signo, SIG_DFL);
+  flush_current_session();
+  std::raise(signo);
+}
+
+void install_flush_hooks() {
+  if (g_flush_hooks_installed.exchange(true)) {
+    return;
+  }
+  std::atexit(&sfcvis_trace_atexit_flush);
+  const int signals[] = {
+      SIGINT,
+      SIGTERM,
+#ifdef SIGHUP
+      SIGHUP,
+#endif
+  };
+  for (const int signo : signals) {
+    const auto prev = std::signal(signo, &sfcvis_trace_signal_flush);
+    if (prev != SIG_DFL && prev != SIG_ERR) {
+      std::signal(signo, prev);
+    }
+  }
+}
+
+}  // namespace
 
 TraceSession::TraceSession(std::string trace_out, std::string report_out, bool force_enable)
     : trace_out_(std::move(trace_out)),
@@ -12,6 +68,8 @@ TraceSession::TraceSession(std::string trace_out, std::string report_out, bool f
       active_(force_enable || !trace_out_.empty() || !report_out_.empty()) {
   if (active_) {
     current() = this;
+    install_flush_hooks();
+    g_flushing.store(false);  // re-arm for this session (tests run several)
     trace::Tracer::instance().enable();
     perfmon::OpenFailure failure;
     topdown_ = perfmon::TopDownCounters::open(&failure);
@@ -52,6 +110,13 @@ void TraceSession::finish() {
     topdown.reading = topdown_->stop();
     topdown_.reset();
   }
+  trace::LocalityReport locality;
+  locality.available = !locality_profiles_.empty();
+  locality.source = locality.available
+                        ? "locality profiler (traced replay)"
+                        : "no locality profiles published by this run";
+  locality.profiles = std::move(locality_profiles_);
+  locality_profiles_.clear();
   if (!trace_out_.empty()) {
     if (trace::write_text_file(trace_out_, trace::chrome_trace_json(snap))) {
       std::printf("[trace] %s (%llu spans, %s)\n", trace_out_.c_str(),
@@ -62,9 +127,11 @@ void TraceSession::finish() {
     }
   }
   if (!report_out_.empty()) {
-    if (trace::write_text_file(report_out_,
-                               trace::run_report_json(snap, metrics, tables_, &topdown))) {
-      std::printf("[trace] %s (%zu tables)\n", report_out_.c_str(), tables_.size());
+    if (trace::write_text_file(
+            report_out_,
+            trace::run_report_json(snap, metrics, tables_, &topdown, &locality))) {
+      std::printf("[trace] %s (%zu tables, %zu locality profiles)\n", report_out_.c_str(),
+                  tables_.size(), locality.profiles.size());
     } else {
       std::fprintf(stderr, "[trace] failed to write %s\n", report_out_.c_str());
     }

@@ -1,7 +1,13 @@
 // Scoped tracing for one run: enables the span tracer on construction and,
 // on finish()/destruction, snapshots it and writes the requested export
 // files (Chrome trace-event JSON and/or the machine-readable run report).
-// Tables registered through add_table ride along in the run report.
+// Tables registered through add_table and locality profiles registered
+// through add_locality ride along in the run report.
+//
+// Abnormal exits flush too: the first active session installs an atexit
+// hook plus best-effort SIGINT/SIGTERM/SIGHUP handlers that finish() the
+// current session, so a run cut short still leaves a loadable trace and
+// report on disk instead of nothing.
 //
 // This is the execution layer's half of what used to live in
 // bench/common.hpp; bench::TraceSession derives from it and only adds the
@@ -31,6 +37,12 @@ class TraceSession {
   /// Records a table for the run report.
   void add_table(trace::ReportTable table) { tables_.push_back(std::move(table)); }
 
+  /// Records a locality profile (reuse-distance histograms + MRCs) for
+  /// the run report's always-present "locality" section.
+  void add_locality(trace::LocalityProfile profile) {
+    locality_profiles_.push_back(std::move(profile));
+  }
+
   /// Stops tracing and writes the export files once (also run by the
   /// destructor; calling early lets a run flush before its exit path).
   void finish();
@@ -43,6 +55,7 @@ class TraceSession {
   std::string report_out_;
   bool active_ = false;
   std::vector<trace::ReportTable> tables_;
+  std::vector<trace::LocalityProfile> locality_profiles_;
   /// Whole-run top-down counters, opened (inherit-enabled, so pool
   /// workers spawned later are covered) while the session is active;
   /// the open failure is reported in the run report otherwise.

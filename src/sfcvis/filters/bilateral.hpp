@@ -683,9 +683,9 @@ inline void bilateral_zsweep(const core::AnyVolume& src, core::ArrayVolume& dst,
 }
 
 /// Counter-collection variant of the curve-order sweep.
-template <core::VolumeBackend VolT>
+template <core::VolumeBackend VolT, core::SinkProvider ProviderT>
 void bilateral_zsweep_traced(const VolT& src, core::ArrayVolume& dst,
-                             const BilateralParams& params, memsim::Hierarchy& hierarchy,
+                             const BilateralParams& params, ProviderT& provider,
                              std::size_t max_items = SIZE_MAX,
                              std::size_t chunks_per_thread = 8) {
   const BilateralWeights weights(params.radius, params.sigma_spatial);
@@ -697,16 +697,16 @@ void bilateral_zsweep_traced(const VolT& src, core::ArrayVolume& dst,
   const bool cubic = tables.padded().nx == tables.padded().ny &&
                      tables.padded().ny == tables.padded().nz;
   const std::size_t cap = tables.capacity();
+  const unsigned num_threads = provider.num_threads();
   const std::size_t num_chunks = std::max<std::size_t>(
-      1, hierarchy.num_threads() * chunks_per_thread * cap /
-             std::max<std::size_t>(1, e.size()));
+      1, num_threads * chunks_per_thread * cap / std::max<std::size_t>(1, e.size()));
   const std::size_t chunk_len = (cap + num_chunks - 1) / num_chunks;
   SFCVIS_TRACE_SPAN("bilateral.zsweep.traced", nullptr, num_chunks);
-  const threads::StaticRoundRobin rr(num_chunks, hierarchy.num_threads());
-  std::vector<memsim::ThreadSink> sinks;
-  sinks.reserve(hierarchy.num_threads());
-  for (unsigned t = 0; t < hierarchy.num_threads(); ++t) {
-    sinks.push_back(hierarchy.sink(t));
+  const threads::StaticRoundRobin rr(num_chunks, num_threads);
+  std::vector<decltype(provider.sink(0u))> sinks;
+  sinks.reserve(num_threads);
+  for (unsigned t = 0; t < num_threads; ++t) {
+    sinks.push_back(provider.sink(t));
   }
   std::size_t done = 0;
   for (const auto& assignment : rr.replay_order()) {
@@ -732,18 +732,19 @@ void bilateral_zsweep_traced(const VolT& src, core::ArrayVolume& dst,
 /// it to bound simulation cost on large volumes. Both layouts replay the
 /// identical voxel set, so the scaled relative difference stays well
 /// defined (see DESIGN.md Sec. 4).
-template <core::VolumeBackend VolT>
+template <core::VolumeBackend VolT, core::SinkProvider ProviderT>
 void bilateral_traced(const VolT& src, core::ArrayVolume& dst,
-                      const BilateralParams& params, memsim::Hierarchy& hierarchy,
+                      const BilateralParams& params, ProviderT& provider,
                       std::size_t max_items = SIZE_MAX) {
   const BilateralWeights weights(params.radius, params.sigma_spatial);
   const std::size_t pencils = pencil_count(src.extents(), params.pencil);
   SFCVIS_TRACE_SPAN("bilateral.traced", nullptr, pencils);
-  const threads::StaticRoundRobin rr(pencils, hierarchy.num_threads());
-  std::vector<memsim::ThreadSink> sinks;
-  sinks.reserve(hierarchy.num_threads());
-  for (unsigned t = 0; t < hierarchy.num_threads(); ++t) {
-    sinks.push_back(hierarchy.sink(t));
+  const unsigned num_threads = provider.num_threads();
+  const threads::StaticRoundRobin rr(pencils, num_threads);
+  std::vector<decltype(provider.sink(0u))> sinks;
+  sinks.reserve(num_threads);
+  for (unsigned t = 0; t < num_threads; ++t) {
+    sinks.push_back(provider.sink(t));
   }
   std::size_t done = 0;
   for (const auto& assignment : rr.replay_order()) {
@@ -756,22 +757,24 @@ void bilateral_traced(const VolT& src, core::ArrayVolume& dst,
 }
 
 /// Facade drivers for the traced variants (replay stays single-threaded
-/// and deterministic; the Hierarchy signature is unchanged).
-inline void bilateral_traced(const core::AnyVolume& src, core::ArrayVolume& dst,
-                             const BilateralParams& params, memsim::Hierarchy& hierarchy,
-                             std::size_t max_items = SIZE_MAX) {
+/// and deterministic; any SinkProvider — memsim::Hierarchy for modeled
+/// counters, locality::LocalityProfiler for reuse distances — plugs in).
+template <core::SinkProvider ProviderT>
+void bilateral_traced(const core::AnyVolume& src, core::ArrayVolume& dst,
+                      const BilateralParams& params, ProviderT& provider,
+                      std::size_t max_items = SIZE_MAX) {
   src.visit([&](const auto& grid) {
-    bilateral_traced(grid, dst, params, hierarchy, max_items);
+    bilateral_traced(grid, dst, params, provider, max_items);
   });
 }
 
-inline void bilateral_zsweep_traced(const core::AnyVolume& src, core::ArrayVolume& dst,
-                                    const BilateralParams& params,
-                                    memsim::Hierarchy& hierarchy,
-                                    std::size_t max_items = SIZE_MAX,
-                                    std::size_t chunks_per_thread = 8) {
+template <core::SinkProvider ProviderT>
+void bilateral_zsweep_traced(const core::AnyVolume& src, core::ArrayVolume& dst,
+                             const BilateralParams& params, ProviderT& provider,
+                             std::size_t max_items = SIZE_MAX,
+                             std::size_t chunks_per_thread = 8) {
   src.visit([&](const auto& grid) {
-    bilateral_zsweep_traced(grid, dst, params, hierarchy, max_items, chunks_per_thread);
+    bilateral_zsweep_traced(grid, dst, params, provider, max_items, chunks_per_thread);
   });
 }
 

@@ -1,0 +1,45 @@
+// Workload drivers for the locality observatory: run a kernel's
+// deterministic traced replay with a LocalityProfiler as the sink provider
+// and publish the resulting profile into the active exec::TraceSession's
+// always-present "locality" run-report section.
+//
+// The workloads are the same capped replays the layout tuner evaluates
+// (against-the-grain bilateral pencils, orbit-camera raycast), so a
+// locality profile and a tuner fitness over the same volume describe the
+// identical access stream.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sfcvis/core/volume.hpp"
+#include "sfcvis/locality/reuse.hpp"
+
+namespace sfcvis::locality {
+
+/// One traced-replay workload.
+struct WorkloadConfig {
+  std::string kernel = "bilateral";  ///< "bilateral" | "raycast"
+  unsigned threads = 4;              ///< simulated round-robin threads
+  std::size_t trace_items = 64;      ///< replay cap (pencils / tiles)
+  std::uint32_t trace_image = 32;    ///< raycast traced image edge
+};
+
+/// Fills `volume` with the workload's dataset (MRI phantom for bilateral,
+/// combustion for raycast) — the same master data the tuner evaluates on.
+void fill_workload_volume(core::AnyVolume& volume, const std::string& kernel);
+
+/// Runs the workload's traced replay over `volume` (already filled) and
+/// returns the finished profile. `layout` labels the profile (pass e.g.
+/// the layout spec the volume was built from); workload.threads overrides
+/// config.threads so the replay interleaving matches the modeled machine.
+[[nodiscard]] trace::LocalityProfile profile_workload(const core::AnyVolume& volume,
+                                                      const std::string& layout,
+                                                      const WorkloadConfig& workload,
+                                                      LocalityConfig config = {});
+
+/// Posts a finished profile to the active exec::TraceSession; returns
+/// false (and drops the profile) when no session is active.
+bool publish_profile(trace::LocalityProfile profile);
+
+}  // namespace sfcvis::locality

@@ -510,10 +510,10 @@ template <core::VolumeBackend VolT>
 /// render, so the modeled counters measure the reduced access stream; the
 /// macrocell summary itself is metadata and is not traced (it is built
 /// once, not read per-frame in proportion to the volume).
-template <core::VolumeBackend VolT>
+template <core::VolumeBackend VolT, core::SinkProvider ProviderT>
 [[nodiscard]] Image raycast_traced(const VolT& volume,
                                    const Camera& camera, const TransferFunction& tf,
-                                   const RenderConfig& config, memsim::Hierarchy& hierarchy,
+                                   const RenderConfig& config, ProviderT& provider,
                                    std::size_t max_items = SIZE_MAX,
                                    const MacrocellGrid* cells = nullptr,
                                    bool collect_stats = false) {
@@ -531,11 +531,12 @@ template <core::VolumeBackend VolT>
   const TileDecomposition tiles(config.image_width, config.image_height, config.tile_size);
   SFCVIS_TRACE_SPAN("raycast.traced", use_cells != nullptr ? "macrocell" : "dense",
                     tiles.count());
-  const threads::StaticRoundRobin rr(tiles.count(), hierarchy.num_threads());
-  std::vector<memsim::ThreadSink> sinks;
-  sinks.reserve(hierarchy.num_threads());
-  for (unsigned t = 0; t < hierarchy.num_threads(); ++t) {
-    sinks.push_back(hierarchy.sink(t));
+  const unsigned num_threads = provider.num_threads();
+  const threads::StaticRoundRobin rr(tiles.count(), num_threads);
+  std::vector<decltype(provider.sink(0u))> sinks;
+  sinks.reserve(num_threads);
+  for (unsigned t = 0; t < num_threads; ++t) {
+    sinks.push_back(provider.sink(t));
   }
   std::size_t done = 0;
   std::uint64_t rendered = 0;
@@ -559,17 +560,17 @@ template <core::VolumeBackend VolT>
 }
 
 /// Facade driver for the counter-collection render (replay stays
-/// single-threaded and deterministic; the Hierarchy signature is
-/// unchanged).
-[[nodiscard]] inline Image raycast_traced(const core::AnyVolume& volume,
-                                          const Camera& camera, const TransferFunction& tf,
-                                          const RenderConfig& config,
-                                          memsim::Hierarchy& hierarchy,
-                                          std::size_t max_items = SIZE_MAX,
-                                          const MacrocellGrid* cells = nullptr,
-                                          bool collect_stats = false) {
+/// single-threaded and deterministic; any SinkProvider — memsim::Hierarchy
+/// or locality::LocalityProfiler — plugs in).
+template <core::SinkProvider ProviderT>
+[[nodiscard]] Image raycast_traced(const core::AnyVolume& volume,
+                                   const Camera& camera, const TransferFunction& tf,
+                                   const RenderConfig& config, ProviderT& provider,
+                                   std::size_t max_items = SIZE_MAX,
+                                   const MacrocellGrid* cells = nullptr,
+                                   bool collect_stats = false) {
   return volume.visit([&](const auto& grid) {
-    return raycast_traced(grid, camera, tf, config, hierarchy, max_items, cells,
+    return raycast_traced(grid, camera, tf, config, provider, max_items, cells,
                           collect_stats);
   });
 }

@@ -32,6 +32,42 @@ void counters_object(JsonWriter& w, const perfmon::GroupReading& r) {
   w.end_object();
 }
 
+void locality_granularity_object(JsonWriter& w, const LocalityGranularity& g) {
+  w.begin_object();
+  w.key("granule_bytes");
+  w.value(std::uint64_t{g.granule_bytes});
+  w.key("accesses");
+  w.value(g.accesses);
+  w.key("distinct");
+  w.value(g.distinct);
+  w.key("cold");
+  w.value(g.cold);
+  w.key("utilization");
+  if (g.utilization < 0.0) {
+    w.null();
+  } else {
+    w.value(g.utilization, 6);
+  }
+  w.key("reuse_log2");
+  w.begin_array();
+  for (const std::uint64_t b : g.reuse_log2) {
+    w.value(b);
+  }
+  w.end_array();
+  w.key("mrc");
+  w.begin_array();
+  for (const LocalityMissPoint& p : g.mrc) {
+    w.begin_object();
+    w.key("capacity_bytes");
+    w.value(p.capacity_bytes);
+    w.key("miss_ratio");
+    w.value(p.miss_ratio, 9);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
 /// One aggregation bucket: every span sharing (name, tag).
 struct Phase {
   const char* name = nullptr;
@@ -123,7 +159,7 @@ std::string chrome_trace_json(const TraceSnapshot& snap) {
 
 std::string run_report_json(const TraceSnapshot& snap, const MetricsSnapshot& metrics,
                             const std::vector<ReportTable>& tables,
-                            const TopDownReport* topdown) {
+                            const TopDownReport* topdown, const LocalityReport* locality) {
   // Aggregate spans into phases (ordered by name, then tag, for a stable
   // report) and sum depth-0 deltas: nested spans are contained in their
   // parents, so only top-level spans sum to the whole-run totals.
@@ -216,6 +252,47 @@ std::string run_report_json(const TraceSnapshot& snap, const MetricsSnapshot& me
       w.value(ratios.bad_speculation, 4);
     }
   }
+  w.end_object();
+
+  // Reuse-distance / miss-ratio-curve profiles — always present, like
+  // topdown; runs without a locality profiler record why.
+  w.key("locality");
+  w.begin_object();
+  w.key("available");
+  w.value(locality != nullptr && locality->available);
+  w.key("source");
+  w.value(locality == nullptr
+              ? "no locality profiler ran (see tools/locality_report or bench/abl_locality)"
+              : locality->source);
+  w.key("profiles");
+  w.begin_array();
+  if (locality != nullptr) {
+    for (const LocalityProfile& p : locality->profiles) {
+      w.begin_object();
+      w.key("kernel");
+      w.value(p.kernel);
+      w.key("layout");
+      w.value(p.layout);
+      w.key("accesses");
+      w.value(p.accesses);
+      w.key("bytes");
+      w.value(p.bytes);
+      w.key("line");
+      locality_granularity_object(w, p.line);
+      w.key("page");
+      locality_granularity_object(w, p.page);
+      w.key("sample_rate_log2");
+      w.value(std::uint64_t{p.sample_rate_log2});
+      w.key("sampled");
+      if (p.sampled_available) {
+        locality_granularity_object(w, p.sampled);
+      } else {
+        w.null();
+      }
+      w.end_object();
+    }
+  }
+  w.end_array();
   w.end_object();
 
   // Whole-enabled-window totals summed across threads (null without hw).

@@ -41,18 +41,69 @@ struct TopDownReport {
   perfmon::TopDownReading reading{};
 };
 
+/// One point of a miss-ratio curve: the modeled LRU miss ratio of a
+/// fully-associative cache holding `capacity_bytes` of this granule size.
+struct LocalityMissPoint {
+  std::uint64_t capacity_bytes = 0;
+  double miss_ratio = 0.0;
+};
+
+/// One granularity slice (cache lines or pages) of a locality profile —
+/// plain data, produced by locality::LocalityProfiler and kept
+/// dependency-free here like ReportTable.
+struct LocalityGranularity {
+  std::uint32_t granule_bytes = 0;
+  std::uint64_t accesses = 0;  ///< granule touches (straddles split per granule)
+  std::uint64_t distinct = 0;  ///< working set, in granules
+  std::uint64_t cold = 0;      ///< first-touch accesses (infinite reuse distance)
+  /// bytes-used / bytes-fetched over the whole run; negative when not
+  /// tracked at this granularity (emitted as JSON null).
+  double utilization = -1.0;
+  /// Finite reuse distances, log2-bucketed: bucket 0 counts distance 0,
+  /// bucket b >= 1 counts distances in [2^(b-1), 2^b). Trimmed to the
+  /// last nonzero bucket; cold accesses are counted separately above.
+  std::vector<std::uint64_t> reuse_log2;
+  std::vector<LocalityMissPoint> mrc;  ///< ascending capacities
+};
+
+/// Locality profile of one traced kernel replay over one layout.
+struct LocalityProfile {
+  std::string kernel;
+  std::string layout;
+  std::uint64_t accesses = 0;  ///< raw view accesses fed to the profiler
+  std::uint64_t bytes = 0;     ///< bytes those accesses requested
+  LocalityGranularity line;
+  LocalityGranularity page;
+  /// SHARDS-sampled estimate at line granularity (counts pre-scaled by
+  /// the sampling rate 2^sample_rate_log2); absent when sampling was off.
+  bool sampled_available = false;
+  std::uint32_t sample_rate_log2 = 0;
+  LocalityGranularity sampled;
+};
+
+/// The run report's always-present "locality" section (reported-fallback
+/// idiom, like TopDownReport): when no profiler ran, `available` is false
+/// and `source` says why.
+struct LocalityReport {
+  bool available = false;
+  std::string source;
+  std::vector<LocalityProfile> profiles;
+};
+
 /// Chrome trace-event JSON (Perfetto-loadable). Spans become "X" events;
 /// threads are named via "M" metadata events ("worker N" or "thread N").
 [[nodiscard]] std::string chrome_trace_json(const TraceSnapshot& snap);
 
 /// The run report: versioned JSON with hw-counter provenance, per-phase
 /// aggregates (phase = span name + tag), per-thread values, the metrics
-/// registry, `tables`, and the top-down slot breakdown (`topdown` may be
-/// null — the section is then emitted as unavailable).
+/// registry, `tables`, the top-down slot breakdown, and the locality
+/// section (`topdown` / `locality` may be null — the sections are then
+/// emitted as unavailable).
 [[nodiscard]] std::string run_report_json(const TraceSnapshot& snap,
                                           const MetricsSnapshot& metrics,
                                           const std::vector<ReportTable>& tables = {},
-                                          const TopDownReport* topdown = nullptr);
+                                          const TopDownReport* topdown = nullptr,
+                                          const LocalityReport* locality = nullptr);
 
 /// Writes `contents` to `path`; false (with intact errno) on failure.
 bool write_text_file(const std::string& path, std::string_view contents);

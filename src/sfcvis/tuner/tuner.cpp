@@ -8,6 +8,7 @@
 #include "sfcvis/data/phantom.hpp"
 #include "sfcvis/exec/execution_context.hpp"
 #include "sfcvis/filters/bilateral.hpp"
+#include "sfcvis/locality/reuse.hpp"
 #include "sfcvis/memsim/hierarchy.hpp"
 #include "sfcvis/render/raycast.hpp"
 #include "sfcvis/verify/rng.hpp"
@@ -74,6 +75,23 @@ std::string random_pattern(const core::Extents3D& extents, verify::SplitMix64& r
   return s;
 }
 
+/// Runs the configured kernel's capped traced replay through any
+/// SinkProvider (the hierarchy or the locality profiler).
+template <core::SinkProvider ProviderT>
+void run_traced(const TunerConfig& config, const core::AnyVolume& volume,
+                ProviderT& provider) {
+  if (config.kernel == "bilateral") {
+    core::ArrayVolume dst(config.extents);
+    filters::bilateral_traced(volume, dst, bilateral_params(), provider,
+                              config.trace_items);
+  } else {
+    (void)render::raycast_traced(volume, raycast_camera(config.extents),
+                                 render::TransferFunction::flame(),
+                                 raycast_config(config.trace_image), provider,
+                                 config.trace_items);
+  }
+}
+
 }  // namespace
 
 FitnessEvaluator::FitnessEvaluator(const TunerConfig& config)
@@ -84,6 +102,14 @@ FitnessEvaluator::FitnessEvaluator(const TunerConfig& config)
   if (config_.kernel != "bilateral" && config_.kernel != "raycast") {
     throw std::invalid_argument("layout tuner: unknown kernel \"" + config_.kernel +
                                 "\" (want bilateral or raycast)");
+  }
+  if (config_.fitness != "memsim" && config_.fitness != "sampled-mrc") {
+    throw std::invalid_argument("layout tuner: unknown fitness \"" + config_.fitness +
+                                "\" (want memsim or sampled-mrc)");
+  }
+  if (config_.fitness == "sampled-mrc" && platform_.private_levels.empty()) {
+    throw std::invalid_argument(
+        "layout tuner: sampled-mrc fitness needs a platform with private cache levels");
   }
   fill_master(master_, config_.kernel);
 }
@@ -97,21 +123,31 @@ const Candidate& FitnessEvaluator::evaluate(const std::string& pattern) {
   core::AnyVolume volume =
       core::make_volume(core::LayoutKind::kGMorton, config_.extents, opts);
   volume.copy_from(master_);
-  memsim::Hierarchy hierarchy(platform_, config_.threads);
-  if (config_.kernel == "bilateral") {
-    core::ArrayVolume dst(config_.extents);
-    filters::bilateral_traced(volume, dst, bilateral_params(), hierarchy,
-                              config_.trace_items);
-  } else {
-    (void)render::raycast_traced(volume, raycast_camera(config_.extents),
-                                 render::TransferFunction::flame(),
-                                 raycast_config(config_.trace_image), hierarchy,
-                                 config_.trace_items);
-  }
   Candidate c;
   c.pattern = pattern;
-  c.fitness = static_cast<double>(hierarchy.modeled_cycles_max());
-  c.escapes = hierarchy.counter(kEscapeCounter);
+  if (config_.fitness == "sampled-mrc") {
+    // Cheap signal: SHARDS-sampled reuse distances only — no cache model.
+    // Fitness is the estimated miss count at the scaled platform's last
+    // private level, i.e. the sampled MRC read at the capacity whose
+    // escapes the memsim fitness charges memory latency for.
+    const memsim::CacheConfig& last_private = platform_.private_levels.back();
+    locality::LocalityConfig lconfig;
+    lconfig.exact = false;
+    lconfig.sampled = true;
+    lconfig.threads = config_.threads;
+    lconfig.line_bytes = last_private.line_bytes;
+    lconfig.extra_line_capacities = {last_private.size_bytes};
+    locality::LocalityProfiler profiler(std::move(lconfig));
+    run_traced(config_, volume, profiler);
+    const std::uint64_t misses = profiler.miss_estimate(last_private.size_bytes);
+    c.fitness = static_cast<double>(misses);
+    c.escapes = misses;
+  } else {
+    memsim::Hierarchy hierarchy(platform_, config_.threads);
+    run_traced(config_, volume, hierarchy);
+    c.fitness = static_cast<double>(hierarchy.modeled_cycles_max());
+    c.escapes = hierarchy.counter(kEscapeCounter);
+  }
   return cache_.emplace(pattern, std::move(c)).first->second;
 }
 
@@ -246,7 +282,7 @@ exec::TunedLayout to_registry_entry(const TunerConfig& config, const TunerResult
   entry.baseline_fitness = result.canonical_z.fitness;
   entry.generations = config.generations;
   entry.seed = config.seed;
-  entry.note = "memsim " + config.platform_name + "/" +
+  entry.note = config.fitness + " " + config.platform_name + "/" +
                std::to_string(config.cache_scale) + "x-scaled, " +
                std::to_string(config.threads) + " modeled threads, " +
                std::to_string(result.evaluations) + " evaluations";

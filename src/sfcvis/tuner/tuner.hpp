@@ -42,13 +42,24 @@ struct TunerConfig {
   std::uint32_t survivors = 4;     ///< mu: elites kept between generations
   std::uint32_t generations = 8;
   std::uint64_t seed = 1;  ///< SplitMix64 search seed (fully deterministic)
+  /// Fitness signal: "memsim" replays through the full modeled hierarchy
+  /// (fitness = modeled stall cycles); "sampled-mrc" replays through the
+  /// SHARDS-sampled reuse-distance profiler only (fitness = estimated
+  /// misses at the scaled platform's last private level) — the same
+  /// ranking signal at a fraction of the per-candidate cost, since only
+  /// ~1/64 of the lines are tracked. Both are deterministic.
+  std::string fitness = "memsim";
 };
 
 /// One evaluated interleave pattern.
 struct Candidate {
   std::string pattern;
-  double fitness = 0.0;        ///< modeled stall cycles (lower is better)
-  std::uint64_t escapes = 0;   ///< L2_DATA_READ_MISS_MEM_FILL during the replay
+  /// Lower is better: modeled stall cycles ("memsim") or estimated
+  /// last-private-level misses ("sampled-mrc").
+  double fitness = 0.0;
+  /// Reads the private stack could not serve: L2_DATA_READ_MISS_MEM_FILL
+  /// ("memsim") or the sampled miss estimate itself ("sampled-mrc").
+  std::uint64_t escapes = 0;
 };
 
 /// Search outcome: the winner plus the canonical reference points the

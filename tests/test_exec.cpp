@@ -5,16 +5,23 @@
 
 #include <algorithm>
 #include <atomic>
+#include <csignal>
 #include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <mutex>
 #include <stdexcept>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "sfcvis/core/volume.hpp"
 #include "sfcvis/exec/execution_context.hpp"
 #include "sfcvis/exec/structure_cache.hpp"
+#include "sfcvis/exec/trace_session.hpp"
 #include "sfcvis/threads/omp_executor.hpp"
+#include "sfcvis/trace/export.hpp"
 
 namespace {
 
@@ -220,6 +227,102 @@ TEST(StructureCacheTest, DistinguishesTypesUnderOneKey) {
   EXPECT_EQ(*as_int, 5);
   EXPECT_EQ(*as_double, 2.5);
   EXPECT_EQ(cache.size(), 2U);
+}
+
+// ---------------------------------------------------------------------------
+// TraceSession abnormal-exit flush: a run that dies with a report pending
+// must still leave a valid run report on disk (atexit hook + best-effort
+// signal handlers, src/sfcvis/exec/trace_session.cpp).
+// ---------------------------------------------------------------------------
+
+#if defined(__SANITIZE_THREAD__)
+#define SFCVIS_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define SFCVIS_TSAN 1
+#endif
+#endif
+#ifndef SFCVIS_TSAN
+#define SFCVIS_TSAN 0
+#endif
+
+// No pid in the name: the threadsafe death-test child re-execs the binary
+// and recomputes this path, so it must agree with the parent's.
+std::string flush_report_path(const char* tag) {
+  return (std::filesystem::temp_directory_path() /
+          ("sfcvis_test_flush_" + std::string(tag) + ".json"))
+      .string();
+}
+
+/// The child's half of a death test: open a session and die without
+/// calling finish().
+[[noreturn]] void die_with_pending_report(const std::string& path, int signo) {
+  exec::TraceSession session("", path, false);
+  trace::ReportTable table;
+  table.name = "flush_test";
+  table.title = "written by the flush hook";
+  table.rows = {"r"};
+  table.cols = {"c"};
+  table.cells = {{1.0}};
+  session.add_table(table);
+  if (signo == 0) {
+    std::exit(0);  // atexit path
+  }
+  (void)std::raise(signo);  // signal path: handler flushes, then re-raises
+  std::abort();             // unreachable
+}
+
+void expect_flushed_report(const std::string& path) {
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << path << " was not written by the flush hook";
+  const std::string json((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  EXPECT_NE(json.find("\"sfcvis_run_report\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"flush_test\""), std::string::npos);
+  if (std::system("python3 -c 'import json' > /dev/null 2>&1") == 0) {
+    const std::string cmd = std::string("python3 \"") + SFCVIS_TOOLS_DIR +
+                            "/trace_summary.py\" --validate \"" + path + "\"";
+    EXPECT_EQ(std::system(cmd.c_str()), 0) << cmd;
+  }
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+}
+
+TEST(TraceSessionFlush, AtexitWritesPendingReport) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  const std::string path = flush_report_path("atexit");
+  std::error_code ec;
+  std::filesystem::remove(path, ec);  // no stale file from an earlier run
+  EXPECT_EXIT(die_with_pending_report(path, 0), ::testing::ExitedWithCode(0), "");
+  expect_flushed_report(path);
+}
+
+TEST(TraceSessionFlush, SigtermWritesPendingReportAndDiesBySignal) {
+#if SFCVIS_TSAN
+  GTEST_SKIP() << "signal-path flush is not TSan-clean by design (best effort)";
+#endif
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  const std::string path = flush_report_path("sigterm");
+  std::error_code ec;
+  std::filesystem::remove(path, ec);  // no stale file from an earlier run
+  EXPECT_EXIT(die_with_pending_report(path, SIGTERM),
+              ::testing::KilledBySignal(SIGTERM), "");
+  expect_flushed_report(path);
+}
+
+TEST(TraceSessionFlush, NormalFinishLeavesNothingForTheHooks) {
+  // finish() clears the current-session pointer, so a later exit must not
+  // rewrite (or double-write) the report. Exercised in-process: finish,
+  // delete the file, and verify a manual hook-equivalent has nothing to do.
+  const std::string path = flush_report_path("normal");
+  {
+    exec::TraceSession session("", path, false);
+    session.finish();
+  }
+  EXPECT_TRUE(std::filesystem::exists(path));
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+  EXPECT_EQ(exec::TraceSession::current(), nullptr);
 }
 
 }  // namespace

@@ -252,6 +252,32 @@ TEST(Tuner, EvaluatorMemoizesAndRejectsUnknownKernel) {
   EXPECT_THROW((void)tuner::FitnessEvaluator(config), std::invalid_argument);
 }
 
+TEST(Tuner, SampledMrcFitnessIsDeterministicAndElitist) {
+  // The SHARDS-sampled miss-ratio fitness: same search contract as memsim
+  // (deterministic, elitist), different — much cheaper — signal. 16^3 so
+  // the hash filter keeps enough lines for a meaningful miss count.
+  tuner::TunerConfig config = tiny_config();
+  config.extents = core::Extents3D::cube(16);
+  config.fitness = "sampled-mrc";
+  const tuner::TunerResult a = tuner::search(config);
+  const tuner::TunerResult b = tuner::search(config);
+  EXPECT_EQ(a.best.pattern, b.best.pattern);
+  EXPECT_DOUBLE_EQ(a.best.fitness, b.best.fitness);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+  EXPECT_GT(a.best.fitness, 0.0);  // estimated misses, never zero here
+  EXPECT_LE(a.best.fitness, a.canonical_z.fitness);
+  EXPECT_LE(a.best.fitness, a.best_canonical.fitness);
+  // The note records which signal produced the entry.
+  const TunedLayout entry = tuner::to_registry_entry(config, a);
+  EXPECT_NE(entry.note.find("sampled-mrc"), std::string::npos);
+}
+
+TEST(Tuner, RejectsUnknownFitnessSignal) {
+  tuner::TunerConfig config = tiny_config();
+  config.fitness = "wallclock";
+  EXPECT_THROW((void)tuner::search(config), std::invalid_argument);
+}
+
 TEST(Tuner, RegistryEntryMatchesSearchResult) {
   const tuner::TunerConfig config = tiny_config();
   const tuner::TunerResult result = tuner::search(config);

@@ -102,6 +102,22 @@ BENCHES = [
             "abl_ooc_runtime.csv": "advisory",
         },
     },
+    {
+        "binary": "abl_locality",
+        "args": ["--quick"],
+        "tables": {
+            # Locality observatory over the traced bilateral replay.
+            # TracedView rebases every address to a synthetic origin, so
+            # miss-ratio curve, line utilization, and SHARDS error are all
+            # pure functions of (layout, kernel) — bit-stable, fully gated.
+            "abl_locality_mrc.csv": "lower",
+            "abl_locality_util.csv": "higher",
+            "abl_locality_shards_err.csv": "lower",
+            # Working-set counts shift legitimately whenever a layout's
+            # padding rules change: record, never gate.
+            "abl_locality_ws.csv": "advisory",
+        },
+    },
 ]
 
 # Baseline cells with magnitude below this are compared absolutely (a

@@ -5,10 +5,13 @@
 //   layout_tuner --kernel=bilateral --size=64 --generations=8 --seed=1 \
 //                --registry-out=tuned_layouts.json
 //
-// Fitness is the deterministic memsim replay (same platform model and
-// counters as the ablation benches), so a given flag set reproduces the
-// identical search everywhere; --validate re-times the winner against
-// canonical Z-order on real hardware before the entry is written.
+// Fitness is a deterministic traced replay, so a given flag set reproduces
+// the identical search everywhere: --fitness=memsim (default) models the
+// full cache hierarchy (same platform model and counters as the ablation
+// benches); --fitness=sampled-mrc ranks candidates by the SHARDS-sampled
+// miss-ratio curve instead — the same ordering signal at a fraction of the
+// cost. --validate re-times the winner against canonical Z-order on real
+// hardware before the entry is written.
 #include <cstdio>
 #include <string>
 
@@ -46,14 +49,16 @@ int main(int argc, char** argv) {
   config.survivors = opts.get_u32("survivors", 4);
   config.generations = opts.get_u32("generations", 8);
   config.seed = opts.get_u32("seed", 1);
+  config.fitness = opts.get_string("fitness", "memsim");
   const std::string registry_out = opts.get_string("registry-out", "");
   const bool validate = opts.get_flag("validate");
   const unsigned validate_reps = opts.get_u32("validate-reps", 3);
   const unsigned validate_threads = opts.get_u32("validate-threads", config.threads);
 
-  std::printf("layout_tuner: kernel=%s shape=%s platform=%s/%ux threads=%u\n",
+  std::printf("layout_tuner: kernel=%s shape=%s platform=%s/%ux threads=%u fitness=%s\n",
               config.kernel.c_str(), exec::shape_key(config.extents).c_str(),
-              config.platform_name.c_str(), config.cache_scale, config.threads);
+              config.platform_name.c_str(), config.cache_scale, config.threads,
+              config.fitness.c_str());
   std::printf("  search: population=%u survivors=%u generations=%u seed=%llu "
               "trace-items=%zu\n",
               config.population, config.survivors, config.generations,

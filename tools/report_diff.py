@@ -1,0 +1,245 @@
+#!/usr/bin/env python3
+"""Diff two sfcvis run reports (or bench_gate snapshots) section by section.
+
+Compares every comparable cell between a "base" and a "current" JSON:
+result tables (cell-by-cell relative deltas), the top-down slot breakdown,
+the brick-cache metric totals, and the locality section's miss-ratio
+curves / utilization / working sets. Prints one line per moved cell and
+exits nonzero when any delta exceeds its threshold — the CI artifact diff
+and local "what did my change do to locality" loop both run through here.
+
+Inputs are auto-detected per file:
+  * run report        — top-level "sfcvis_run_report" (trace/export.cpp)
+  * bench_gate snapshot — top-level "tables" + "directions"
+    (tools/bench_gate.py BENCH_<sha>.json / bench/BENCH_baseline.json)
+A report can be diffed against a snapshot: only the table names present
+in both participate.
+
+Thresholds: --threshold (default 0.15) applies everywhere; override a
+single table with --table-threshold NAME=FRACTION (repeatable). Cells
+whose base magnitude is below the absolute floor compare absolutely.
+Wall-clock tables are as noisy here as in bench_gate, so thresholds are
+yours to pick; --advisory reports everything but always exits 0 (CI uses
+this for the cross-era artifact diff, where drift is information, not
+failure).
+
+Usage:
+  tools/report_diff.py base.json current.json [--threshold=0.15]
+      [--table-threshold abl_locality_mrc.csv=0.05] [--advisory]
+      [--out=diff.txt]
+
+Exit codes: 0 no delta beyond threshold (or --advisory), 1 threshold
+exceeded, 2 usage / unreadable input. A self-diff is always exit 0.
+"""
+
+import argparse
+import json
+import sys
+
+# Base cells below this magnitude are compared absolutely — a relative
+# delta against ~0 is meaningless. Matches tools/bench_gate.py.
+ABS_FLOOR = 1e-9
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def extract(doc, path):
+    """Normalizes either input kind into {tables, topdown, brick, locality}.
+
+    tables:   name -> {rows, cols, cells}
+    topdown:  name -> topdown section (run report: single "" key)
+    brick:    metric name -> total
+    locality: "kernel/layout" -> profile
+    """
+    if "sfcvis_run_report" in doc:
+        tables = {t["name"] + ".csv": t for t in doc.get("tables", [])}
+        td = doc.get("topdown")
+        topdown = {"": td} if td and td.get("available") else {}
+        brick = {m["name"]: m["total"] for m in doc.get("metrics", [])
+                 if m["name"].startswith("bricked.")}
+        loc = doc.get("locality") or {}
+        locality = {f"{p['kernel']}/{p['layout']}": p
+                    for p in loc.get("profiles", [])} if loc.get("available") \
+            else {}
+        return {"tables": tables, "topdown": topdown, "brick": brick,
+                "locality": locality}
+    if "tables" in doc and "directions" in doc:
+        topdown = {name: td for name, td in doc.get("topdown", {}).items()
+                   if td.get("available")}
+        return {"tables": doc["tables"], "topdown": topdown, "brick": {},
+                "locality": {}}
+    print(f"error: {path}: neither a run report nor a bench_gate snapshot",
+          file=sys.stderr)
+    sys.exit(2)
+
+
+class Diff:
+    """Collects per-cell deltas and tracks the worst exceedance."""
+
+    def __init__(self, default_threshold, table_thresholds):
+        self.default_threshold = default_threshold
+        self.table_thresholds = table_thresholds
+        self.lines = []
+        self.exceeded = 0
+        self.compared = 0
+
+    def threshold_for(self, table):
+        return self.table_thresholds.get(table, self.default_threshold)
+
+    def cell(self, table, label, base, cur, threshold=None):
+        """Records one numeric comparison; None on either side is skipped."""
+        if base is None or cur is None:
+            return
+        self.compared += 1
+        if threshold is None:
+            threshold = self.threshold_for(table)
+        if abs(base) < ABS_FLOOR:
+            moved = abs(cur - base) > ABS_FLOOR
+            desc = f"{base:.6g} -> {cur:.6g} (base ~0)"
+        else:
+            rel = (cur - base) / abs(base)
+            moved = abs(rel) > threshold
+            desc = f"{base:.6g} -> {cur:.6g} ({rel:+.1%})"
+        if moved:
+            self.exceeded += 1
+            self.lines.append(f"  {table} [{label}]: {desc}")
+
+    def note(self, line):
+        self.lines.append(f"  {line}")
+
+
+def diff_tables(base, cur, diff):
+    shared = sorted(set(base) & set(cur))
+    for name in sorted(set(base) ^ set(cur)):
+        side = "base" if name in base else "current"
+        diff.note(f"{name}: only in {side} (skipped)")
+    for name in shared:
+        b, c = base[name], cur[name]
+        if b["rows"] != c["rows"] or b["cols"] != c["cols"]:
+            diff.exceeded += 1
+            diff.note(f"{name}: table shape changed "
+                      f"({len(b['rows'])}x{len(b['cols'])} -> "
+                      f"{len(c['rows'])}x{len(c['cols'])})")
+            continue
+        for r, row in enumerate(b["rows"]):
+            for col_n, col in enumerate(b["cols"]):
+                diff.cell(name, f"{row} | {col}",
+                          b["cells"][r][col_n], c["cells"][r][col_n])
+
+
+TOPDOWN_RATIOS = ("retiring", "frontend_bound", "backend_bound",
+                  "bad_speculation")
+
+
+def diff_topdown(base, cur, diff):
+    for name in sorted(set(base) & set(cur)):
+        b, c = base[name], cur[name]
+        label = f"topdown[{name}]" if name else "topdown"
+        for key in TOPDOWN_RATIOS:
+            diff.cell(label, key, b.get(key), c.get(key))
+    for name in sorted(set(base) ^ set(cur)):
+        side = "base" if name in base else "current"
+        label = f"topdown[{name}]" if name else "topdown"
+        diff.note(f"{label}: only available in {side} (skipped)")
+
+
+def diff_brick(base, cur, diff):
+    for name in sorted(set(base) & set(cur)):
+        diff.cell("brick-cache", name, base[name], cur[name])
+    for name in sorted(set(base) ^ set(cur)):
+        side = "base" if name in base else "current"
+        diff.note(f"brick-cache {name}: only in {side} (skipped)")
+
+
+def diff_locality_granularity(who, base, cur, diff):
+    for key in ("distinct", "cold"):
+        diff.cell(who, key, base[key], cur[key])
+    diff.cell(who, "utilization", base["utilization"], cur["utilization"])
+    base_mrc = {p["capacity_bytes"]: p["miss_ratio"] for p in base["mrc"]}
+    cur_mrc = {p["capacity_bytes"]: p["miss_ratio"] for p in cur["mrc"]}
+    for cap in sorted(set(base_mrc) & set(cur_mrc)):
+        label = f"miss@{cap // 1024}KB" if cap < (1 << 20) else \
+            f"miss@{cap // (1 << 20)}MB"
+        diff.cell(who, label, base_mrc[cap], cur_mrc[cap])
+
+
+def diff_locality(base, cur, diff):
+    for key in sorted(set(base) & set(cur)):
+        b, c = base[key], cur[key]
+        who = f"locality[{key}]"
+        diff.cell(who, "accesses", b["accesses"], c["accesses"])
+        diff_locality_granularity(who + " line", b["line"], c["line"], diff)
+        diff_locality_granularity(who + " page", b["page"], c["page"], diff)
+        if b["sampled"] is not None and c["sampled"] is not None:
+            diff_locality_granularity(who + " sampled", b["sampled"],
+                                      c["sampled"], diff)
+    for key in sorted(set(base) ^ set(cur)):
+        side = "base" if key in base else "current"
+        diff.note(f"locality[{key}]: only in {side} (skipped)")
+
+
+def parse_table_threshold(spec):
+    name, _, value = spec.partition("=")
+    if not name or not value:
+        raise argparse.ArgumentTypeError(
+            f"expected NAME=FRACTION, got '{spec}'")
+    try:
+        return name, float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"bad threshold in '{spec}'")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("base", help="base run report / bench snapshot JSON")
+    parser.add_argument("current", help="current JSON to compare against base")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="relative delta that counts as moved "
+                             "(default 0.15)")
+    parser.add_argument("--table-threshold", action="append", default=[],
+                        type=parse_table_threshold, metavar="NAME=FRACTION",
+                        help="per-table threshold override (repeatable)")
+    parser.add_argument("--advisory", action="store_true",
+                        help="report all deltas but always exit 0")
+    parser.add_argument("--out", default=None,
+                        help="also write the diff text to this file "
+                             "(CI uploads it as an artifact)")
+    args = parser.parse_args()
+
+    base = extract(load(args.base), args.base)
+    cur = extract(load(args.current), args.current)
+    diff = Diff(args.threshold, dict(args.table_threshold))
+
+    diff_tables(base["tables"], cur["tables"], diff)
+    diff_topdown(base["topdown"], cur["topdown"], diff)
+    diff_brick(base["brick"], cur["brick"], diff)
+    diff_locality(base["locality"], cur["locality"], diff)
+
+    verdict = "OK" if not diff.exceeded or args.advisory else "FAIL"
+    head = (f"[report_diff] {verdict}: {diff.exceeded} of {diff.compared} "
+            f"compared cells moved beyond threshold "
+            f"({args.base} vs {args.current})")
+    body = "\n".join([head, *diff.lines])
+    print(body)
+    if args.out:
+        try:
+            with open(args.out, "w", encoding="utf-8") as f:
+                f.write(body + "\n")
+        except OSError as e:
+            print(f"error: {args.out}: {e}", file=sys.stderr)
+            return 2
+    return 1 if diff.exceeded and not args.advisory else 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. `report_diff.py ... | head`
+        sys.exit(0)

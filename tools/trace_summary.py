@@ -36,6 +36,7 @@ RUN_REPORT_REQUIRED = (
     "dropped_spans",
     "hw_counters",
     "topdown",
+    "locality",
     "threads",
     "phases",
     "metrics",
@@ -144,6 +145,7 @@ def validate_report(doc, path):
                 f"{path}: table {table.get('name', '?')} cells do not match "
                 f"its row/col labels ({rows}x{cols})")
     validate_brick_cache(doc, path, required=False)
+    validate_locality(doc, path, required=False)
 
 
 def brick_cache_totals(doc):
@@ -181,6 +183,86 @@ def validate_brick_cache(doc, path, required):
         raise ValidationError(
             f"{path}: brick-cache section present but never touched "
             f"(0 hits + 0 misses)")
+
+
+LOCALITY_PROFILE_KEYS = ("kernel", "layout", "accesses", "bytes", "line",
+                         "page", "sample_rate_log2", "sampled")
+LOCALITY_GRANULARITY_KEYS = ("granule_bytes", "accesses", "distinct", "cold",
+                             "utilization", "reuse_log2", "mrc")
+
+
+def validate_locality_granularity(gran, path, who):
+    for key in LOCALITY_GRANULARITY_KEYS:
+        if key not in gran:
+            raise ValidationError(f"{path}: {who} missing '{key}'")
+    gb = gran["granule_bytes"]
+    if gb <= 0 or gb & (gb - 1):
+        raise ValidationError(
+            f"{path}: {who} granule_bytes {gb} is not a power of two")
+    if gran["distinct"] > gran["accesses"] or gran["cold"] > gran["accesses"]:
+        raise ValidationError(
+            f"{path}: {who} counts inconsistent (distinct/cold > accesses)")
+    util = gran["utilization"]
+    if util is not None and not 0.0 <= util <= 1.0:
+        raise ValidationError(
+            f"{path}: {who} utilization {util} outside [0, 1]")
+    prev_capacity, prev_ratio = 0, 1.0
+    for point in gran["mrc"]:
+        cap, ratio = point["capacity_bytes"], point["miss_ratio"]
+        if cap <= prev_capacity:
+            raise ValidationError(
+                f"{path}: {who} MRC capacities not strictly ascending at {cap}")
+        if not 0.0 <= ratio <= 1.0:
+            raise ValidationError(
+                f"{path}: {who} miss ratio {ratio} at {cap}B outside [0, 1]")
+        # An LRU miss-ratio curve over a fixed trace can only fall (or hold)
+        # as the modeled cache grows; allow float-rounding slack.
+        if ratio > prev_ratio + 1e-9:
+            raise ValidationError(
+                f"{path}: {who} MRC not monotone nonincreasing at {cap}B "
+                f"({prev_ratio} -> {ratio})")
+        prev_capacity, prev_ratio = cap, ratio
+
+
+def validate_locality(doc, path, required):
+    """Checks the 'locality' run-report section (reuse-distance profiles).
+
+    The section is always present; available=False carries a reason in
+    'source'. An available section must hold at least one profile, and each
+    profile's miss-ratio curves must be well-formed: strictly ascending
+    capacities, ratios in [0, 1], monotone nonincreasing (a bigger modeled
+    LRU cache can only hit more). With required=True (CI's locality smoke),
+    an unavailable section fails outright.
+    """
+    loc = doc.get("locality")
+    if not isinstance(loc, dict) or "available" not in loc or "source" not in loc:
+        raise ValidationError(f"{path}: locality must carry available + source")
+    if not loc["available"]:
+        if required:
+            raise ValidationError(
+                f"{path}: locality section unavailable ({loc['source']}) but "
+                f"--require-locality was given")
+        return
+    profiles = loc.get("profiles")
+    if not profiles:
+        raise ValidationError(
+            f"{path}: locality reported available with no profiles")
+    for n, profile in enumerate(profiles):
+        who = f"locality profile [{n}]"
+        for key in LOCALITY_PROFILE_KEYS:
+            if key not in profile:
+                raise ValidationError(f"{path}: {who} missing '{key}'")
+        who = (f"locality[{profile['kernel']}/{profile['layout']}]")
+        if profile["accesses"] <= 0:
+            raise ValidationError(f"{path}: {who} recorded no accesses")
+        validate_locality_granularity(profile["line"], path, who + " line")
+        validate_locality_granularity(profile["page"], path, who + " page")
+        if profile["line"]["granule_bytes"] > profile["page"]["granule_bytes"]:
+            raise ValidationError(
+                f"{path}: {who} line granule larger than page granule")
+        if profile["sampled"] is not None:
+            validate_locality_granularity(profile["sampled"], path,
+                                          who + " sampled")
 
 
 # ---------------------------------------------------------------------------
@@ -255,6 +337,29 @@ def summarize_report(doc, path):
               f"prefetch {fmt_count(brick.get('bricked.prefetch_hits', 0))}/"
               f"{fmt_count(brick.get('bricked.prefetch_issued', 0))} hit/issued")
 
+    loc = doc.get("locality")
+    if loc:
+        if loc.get("available"):
+            print(f"\nlocality ({len(loc['profiles'])} profiles):")
+            for p in loc["profiles"]:
+                line, page = p["line"], p["page"]
+                util = line["utilization"]
+                util_s = f"{util:.3f}" if util is not None else "n/a"
+                mrc = line["mrc"]
+                first, last = mrc[0], mrc[-1]
+                print(f"  {p['kernel']}/{p['layout']:<28} "
+                      f"{fmt_count(p['accesses'])} accesses  "
+                      f"WS {fmt_count(line['distinct'])} lines / "
+                      f"{fmt_count(page['distinct'])} pages  util {util_s}")
+                print(f"    MRC {first['capacity_bytes'] // 1024}KB "
+                      f"{first['miss_ratio']:.4f} .. "
+                      f"{last['capacity_bytes'] // (1 << 20)}MB "
+                      f"{last['miss_ratio']:.4f}"
+                      + ("" if p["sampled"] is None else
+                         f"  (SHARDS rate 1/{1 << p['sample_rate_log2']})"))
+        else:
+            print(f"\nlocality: unavailable ({loc.get('source', '?')})")
+
     if doc["metrics"]:
         print("\nmetrics:")
         for m in doc["metrics"]:
@@ -296,6 +401,10 @@ def main():
     parser.add_argument("--require-brick-cache", action="store_true",
                         help="with --validate: fail a run report that carries "
                              "no (or an untouched) bricked.* cache section")
+    parser.add_argument("--require-locality", action="store_true",
+                        help="with --validate: fail a run report whose "
+                             "locality section is unavailable (no reuse-"
+                             "distance profiles were published)")
     args = parser.parse_args()
 
     failures = 0
@@ -311,6 +420,8 @@ def main():
                 (validate_report if kind == "report" else validate_trace)(doc, path)
                 if args.require_brick_cache and kind == "report":
                     validate_brick_cache(doc, path, required=True)
+                if args.require_locality and kind == "report":
+                    validate_locality(doc, path, required=True)
                 print(f"[trace_summary] OK: {path} ({kind})")
             except ValidationError as e:
                 print(f"[trace_summary] FAIL: {e}", file=sys.stderr)
