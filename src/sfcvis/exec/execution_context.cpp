@@ -117,6 +117,13 @@ threads::Pool& ExecutionContext::pool() {
   return *pool_;
 }
 
+JobGraph& ExecutionContext::jobs() {
+  if (!jobs_) {
+    jobs_ = std::make_unique<JobGraph>(*this);
+  }
+  return *jobs_;
+}
+
 void ExecutionContext::parallel_static(
     std::size_t num_items, const std::function<void(std::size_t, unsigned)>& fn) {
   if (active_backend_ == Backend::kOpenMP &&

@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "sfcvis/core/volume.hpp"
+#include "sfcvis/exec/job_graph.hpp"
 #include "sfcvis/exec/layout_registry.hpp"
 #include "sfcvis/exec/structure_cache.hpp"
 #include "sfcvis/exec/trace_session.hpp"
@@ -124,6 +125,12 @@ class ExecutionContext {
 
   /// Cache of derived structures (macrocell grids) keyed on volume identity.
   [[nodiscard]] StructureCache& structures() noexcept { return structures_; }
+
+  /// The job queue every kernel driver dispatches through (created on
+  /// first use): drivers build an exec::KernelJob and submit it here, and
+  /// the graph schedules curve-ordered tiles onto this context's backend
+  /// with per-job trace/metrics attribution (see exec/job_graph.hpp).
+  [[nodiscard]] JobGraph& jobs();
 
   /// The owned trace session, when the context was constructed with trace
   /// options (nullptr otherwise).
@@ -239,10 +246,31 @@ class ExecutionContext {
   core::MemoryPolicy memory_{};
   std::unique_ptr<threads::Pool> pool_;
   StructureCache structures_;
+  std::unique_ptr<JobGraph> jobs_;
   std::unique_ptr<TraceSession> trace_session_;
   LayoutRegistry layout_registry_;
   std::string layout_registry_note_;
 };
+
+/// The synchronous driver path every kernel entry point keeps: submit on
+/// the context's graph and drain the queue up to this job.
+inline void run_job(ExecutionContext& ctx, KernelJob job) {
+  auto& graph = ctx.jobs();
+  graph.run(graph.submit(std::move(job)));
+}
+
+/// A single-threaded context for the traced replay drivers, which take a
+/// SinkProvider instead of an ExecutionContext but still dispatch through
+/// a JobGraph (as serial jobs) for per-job attribution. No pool is ever
+/// spawned (serial dispatch never touches it) and no layout registry is
+/// loaded.
+[[nodiscard]] inline ExecutionContext make_replay_context() {
+  ExecOptions opts;
+  opts.threads = 1;
+  opts.backend = Backend::kPool;
+  opts.layout_registry.clear();
+  return ExecutionContext(opts);
+}
 
 /// Publishes a bricked volume's cache-counter deltas since the previous
 /// call (per volume) into the trace metrics registry as "bricked.*"

@@ -1,0 +1,267 @@
+#include "sfcvis/exec/job_graph.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <string>
+
+#include "sfcvis/exec/execution_context.hpp"
+#include "sfcvis/exec/kernel_registry.hpp"
+#include "sfcvis/exec/trace_session.hpp"
+#include "sfcvis/trace/trace.hpp"
+
+namespace sfcvis::exec {
+
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now().time_since_epoch())
+                                        .count());
+}
+
+/// Aggregate job metrics (per-job attribution lives in the records and
+/// the run report's "jobs" section; these make job activity visible in
+/// untraced metrics snapshots too).
+struct JobCounters {
+  trace::CounterId jobs_run;
+  trace::CounterId jobs_cancelled;
+  trace::CounterId jobs_deadline_missed;
+  trace::CounterId tiles;
+  trace::CounterId queue_wait_ns;
+  trace::CounterId run_ns;
+};
+
+const JobCounters& job_counters() {
+  static const JobCounters counters = [] {
+    auto& tracer = trace::Tracer::instance();
+    JobCounters c;
+    c.jobs_run = tracer.counter_id("exec.jobs_run");
+    c.jobs_cancelled = tracer.counter_id("exec.jobs_cancelled");
+    c.jobs_deadline_missed = tracer.counter_id("exec.jobs_deadline_missed");
+    c.tiles = tracer.counter_id("exec.job_tiles_run");
+    c.queue_wait_ns = tracer.counter_id("exec.job_queue_wait_ns");
+    c.run_ns = tracer.counter_id("exec.job_run_ns");
+    return c;
+  }();
+  return counters;
+}
+
+}  // namespace
+
+JobId JobGraph::submit(KernelJob job) {
+  const KernelInfo* info = KernelRegistry::instance().find(job.kernel);
+  if (info == nullptr) {
+    throw std::invalid_argument("JobGraph::submit: unregistered kernel '" + job.kernel +
+                                "' (see exec::KernelRegistry)");
+  }
+  if (job.tiles > 0 && !job.tile) {
+    throw std::invalid_argument("JobGraph::submit: job '" + job.kernel +
+                                "' has tiles but no tile body");
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (job.output != nullptr) {
+    for (const Pending& p : queue_) {
+      if (p.job.output == job.output) {
+        throw std::invalid_argument(
+            "JobGraph::submit: output already written by queued job id " +
+            std::to_string(p.id) + " (kernel '" + p.job.kernel +
+            "'); drain the queue before resubmitting");
+      }
+    }
+  }
+  // Process-wide id sequence: a run report aggregates jobs from every
+  // context (driver contexts, replay contexts), so per-graph numbering
+  // would collide in the report's "jobs" section.
+  static std::atomic<JobId> g_next_id{1};
+  const JobId id = g_next_id.fetch_add(1, std::memory_order_relaxed);
+  queue_.push_back(Pending{std::move(job), id, info, now_ns()});
+  return id;
+}
+
+std::optional<JobGraph::Pending> JobGraph::pop_next() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (queue_.empty()) {
+    return std::nullopt;
+  }
+  auto it = std::find_if(queue_.begin(), queue_.end(), [](const Pending& p) {
+    return p.job.priority == JobPriority::kHigh;
+  });
+  if (it == queue_.end()) {
+    it = queue_.begin();
+  }
+  Pending p = std::move(*it);
+  queue_.erase(it);
+  return p;
+}
+
+void JobGraph::run_all() {
+  while (auto next = pop_next()) {
+    run_one(*next);
+  }
+}
+
+void JobGraph::run(JobId id) {
+  for (;;) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      const bool queued = std::any_of(queue_.begin(), queue_.end(),
+                                      [&](const Pending& p) { return p.id == id; });
+      if (!queued) {
+        return;
+      }
+    }
+    auto next = pop_next();
+    if (!next) {
+      return;
+    }
+    const JobId ran = next->id;
+    run_one(*next);
+    if (ran == id) {
+      return;
+    }
+  }
+}
+
+void JobGraph::run_one(Pending& pending) {
+  KernelJob& job = pending.job;
+  JobRecord record;
+  record.id = pending.id;
+  record.kernel = job.kernel;
+  record.tiles = job.tiles;
+  record.deadline_ns = job.deadline_ns;
+  const std::uint64_t start_ns = now_ns();
+  record.queue_wait_ns = start_ns - pending.submit_ns;
+  if (job.cancel.cancelled()) {
+    record.state = JobState::kCancelled;
+    finish_record(std::move(record));
+    return;
+  }
+  const std::uint64_t hits_before = ctx_.structures().hits();
+  const std::uint64_t misses_before = ctx_.structures().misses();
+  std::atomic<std::size_t> tiles_run{0};
+  {
+    // Per-job span, with the kernel's historical phase span nested inside
+    // so reports keep their pre-job-system phase names.
+    trace::ScopedSpan job_span("exec.job", pending.info->name.c_str(), pending.id);
+    if (job.prepare) {
+      job.prepare(ctx_);
+    }
+    trace::ScopedSpan kernel_span(job.span_name != nullptr ? job.span_name : "exec.job.tiles",
+                                  job.span_tag, job.tiles);
+    const CancelToken cancel = job.cancel;
+    if (job.tiles > 0) {
+      switch (job.dispatch) {
+        case JobDispatch::kSerial: {
+          std::size_t done = 0;
+          for (std::size_t t = 0; t < job.tiles && !cancel.cancelled(); ++t) {
+            job.tile(nullptr, t, 0U);
+            ++done;
+          }
+          tiles_run.store(done, std::memory_order_relaxed);
+          break;
+        }
+        case JobDispatch::kDynamic:
+          ctx_.parallel_dynamic(job.tiles, [&](std::size_t t, unsigned tid) {
+            if (cancel.cancelled()) {
+              return;
+            }
+            job.tile(nullptr, t, tid);
+            tiles_run.fetch_add(1, std::memory_order_relaxed);
+          });
+          break;
+        case JobDispatch::kStatic:
+          if (job.make_state) {
+            ctx_.parallel_static_state(
+                job.tiles, [&](unsigned tid) { return job.make_state(tid); },
+                [&](const std::shared_ptr<void>& state, std::size_t t, unsigned tid) {
+                  if (cancel.cancelled()) {
+                    return;
+                  }
+                  job.tile(state.get(), t, tid);
+                  tiles_run.fetch_add(1, std::memory_order_relaxed);
+                });
+          } else {
+            ctx_.parallel_static(job.tiles, [&](std::size_t t, unsigned tid) {
+              if (cancel.cancelled()) {
+                return;
+              }
+              job.tile(nullptr, t, tid);
+              tiles_run.fetch_add(1, std::memory_order_relaxed);
+            });
+          }
+          break;
+      }
+    }
+  }
+  record.tiles_run = tiles_run.load(std::memory_order_relaxed);
+  record.run_ns = now_ns() - start_ns;
+  record.structure_cache_hits = ctx_.structures().hits() - hits_before;
+  record.structure_cache_misses = ctx_.structures().misses() - misses_before;
+  record.state = (job.cancel.cancelled() && record.tiles_run < record.tiles)
+                     ? JobState::kCancelled
+                     : JobState::kDone;
+  record.deadline_missed =
+      record.deadline_ns != 0 && record.queue_wait_ns + record.run_ns > record.deadline_ns;
+  finish_record(std::move(record));
+}
+
+void JobGraph::finish_record(JobRecord record) {
+  const JobCounters& c = job_counters();
+  auto& tracer = trace::Tracer::instance();
+  tracer.add(record.state == JobState::kCancelled ? c.jobs_cancelled : c.jobs_run, 1);
+  tracer.add(c.tiles, record.tiles_run);
+  tracer.add(c.queue_wait_ns, record.queue_wait_ns);
+  tracer.add(c.run_ns, record.run_ns);
+  if (record.deadline_missed) {
+    tracer.add(c.jobs_deadline_missed, 1);
+  }
+  if (TraceSession* session = TraceSession::current()) {
+    trace::JobReportEntry entry;
+    entry.id = record.id;
+    entry.kernel = record.kernel;
+    entry.state = to_string(record.state);
+    entry.tiles = record.tiles;
+    entry.tiles_run = record.tiles_run;
+    entry.queue_wait_ns = record.queue_wait_ns;
+    entry.run_ns = record.run_ns;
+    entry.deadline_ns = record.deadline_ns;
+    entry.deadline_missed = record.deadline_missed;
+    entry.structure_cache_hits = record.structure_cache_hits;
+    entry.structure_cache_misses = record.structure_cache_misses;
+    session->add_job(std::move(entry));
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  records_.push_back(std::move(record));
+  while (records_.size() > kMaxRecords) {
+    records_.pop_front();
+  }
+}
+
+std::size_t JobGraph::pending() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+std::vector<JobRecord> JobGraph::records() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return {records_.begin(), records_.end()};
+}
+
+std::optional<JobRecord> JobGraph::find_record(JobId id) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const JobRecord& r : records_) {
+    if (r.id == id) {
+      return r;
+    }
+  }
+  return std::nullopt;
+}
+
+void JobGraph::clear_records() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  records_.clear();
+}
+
+}  // namespace sfcvis::exec

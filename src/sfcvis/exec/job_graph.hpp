@@ -1,0 +1,88 @@
+// JobGraph: the queue that turns KernelJobs into backend dispatches.
+//
+// Scheduling model: two FIFO lanes (high before normal). run_all() /
+// run(id) drain the queue one job at a time on the calling thread — each
+// job is internally parallel (its tiles go to the context's pool/OpenMP
+// backend), so draining serially preserves the bit-identity contract of
+// the direct driver calls this replaces while still letting queued jobs
+// share StructureCache entries hoisted into their prep stages.
+//
+// Per job the graph records queue-wait vs run time, tiles run (cooperative
+// cancellation can cut a job short between tiles), deadline misses, and
+// the StructureCache hit/miss delta attributed to its prep+run window.
+// Records flow three ways: the bounded records() buffer here, aggregate
+// "exec.job*" metrics counters, and — when a TraceSession is active — the
+// run report's always-present "jobs" section (trace_summary.py validates
+// it; --require-jobs gates on it).
+//
+// Double-submit policy (pinned, tests/test_jobs.cpp): a second job
+// writing the same output while one is queued is REJECTED at submit
+// (std::invalid_argument), not serialized — silently reordering writes
+// behind the caller's back is how bit-identity dies.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "sfcvis/exec/job.hpp"
+
+namespace sfcvis::exec {
+
+class ExecutionContext;
+struct KernelInfo;
+
+class JobGraph {
+ public:
+  /// Bound on kept records; the oldest are dropped past it (the trace
+  /// session, if any, has already received them).
+  static constexpr std::size_t kMaxRecords = 4096;
+
+  explicit JobGraph(ExecutionContext& ctx) : ctx_(ctx) {}
+  JobGraph(const JobGraph&) = delete;
+  JobGraph& operator=(const JobGraph&) = delete;
+
+  /// Enqueues a job. Throws std::invalid_argument when the kernel id is
+  /// not registered, when tiles > 0 with no tile body, or when another
+  /// queued job writes the same output (see header comment).
+  JobId submit(KernelJob job);
+
+  /// Drains the whole queue (high lane first, FIFO within a lane).
+  /// Synchronous: returns with the queue empty.
+  void run_all();
+
+  /// Runs queued jobs in scheduled order until `id` has finished; a no-op
+  /// when `id` is not queued (already ran or never submitted).
+  void run(JobId id);
+
+  [[nodiscard]] std::size_t pending() const;
+
+  /// Copies of the kept records, completion order (thread-safe snapshot).
+  [[nodiscard]] std::vector<JobRecord> records() const;
+
+  /// The record of job `id`, if still kept.
+  [[nodiscard]] std::optional<JobRecord> find_record(JobId id) const;
+
+  void clear_records();
+
+ private:
+  struct Pending {
+    KernelJob job;
+    JobId id = 0;
+    const KernelInfo* info = nullptr;  ///< registry entry (process-stable)
+    std::uint64_t submit_ns = 0;
+  };
+
+  [[nodiscard]] std::optional<Pending> pop_next();
+  void run_one(Pending& pending);
+  void finish_record(JobRecord record);
+
+  ExecutionContext& ctx_;
+  mutable std::mutex mutex_;  ///< guards queue_/records_
+  std::deque<Pending> queue_;
+  std::deque<JobRecord> records_;
+};
+
+}  // namespace sfcvis::exec

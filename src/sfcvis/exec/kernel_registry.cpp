@@ -1,0 +1,103 @@
+#include "sfcvis/exec/kernel_registry.hpp"
+
+#include <stdexcept>
+
+namespace sfcvis::exec {
+
+const char* to_string(JobPriority priority) noexcept {
+  switch (priority) {
+    case JobPriority::kNormal:
+      return "normal";
+    case JobPriority::kHigh:
+      return "high";
+  }
+  return "?";
+}
+
+const char* to_string(JobDispatch dispatch) noexcept {
+  switch (dispatch) {
+    case JobDispatch::kStatic:
+      return "static";
+    case JobDispatch::kDynamic:
+      return "dynamic";
+    case JobDispatch::kSerial:
+      return "serial";
+  }
+  return "?";
+}
+
+const char* to_string(JobState state) noexcept {
+  switch (state) {
+    case JobState::kQueued:
+      return "queued";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kDone:
+      return "done";
+    case JobState::kCancelled:
+      return "cancelled";
+  }
+  return "?";
+}
+
+KernelRegistry& KernelRegistry::instance() {
+  static KernelRegistry registry;
+  return registry;
+}
+
+KernelRegistry::KernelRegistry() {
+  // The built-in catalog. Decomposers are the shapes the drivers have
+  // always used; "replay" kernels re-run a recorded static round-robin
+  // assignment in order on one thread (the traced memsim/locality path).
+  const KernelInfo builtins[] = {
+      {"bilateral", "pencils", JobDispatch::kStatic, false, ""},
+      {"bilateral.zsweep", "curve-chunks", JobDispatch::kStatic, false, ""},
+      {"bilateral.traced", "replay", JobDispatch::kSerial, false, ""},
+      {"bilateral.zsweep.traced", "replay", JobDispatch::kSerial, false, ""},
+      {"bilateral2d", "rows", JobDispatch::kStatic, false, ""},
+      {"gaussian", "pencils", JobDispatch::kStatic, false, ""},
+      {"median", "pencils", JobDispatch::kStatic, false, ""},
+      {"gradient", "pencils", JobDispatch::kStatic, false, ""},
+      {"raycast", "image-tiles", JobDispatch::kDynamic, true, "macrocell"},
+      {"raycast.traced", "replay", JobDispatch::kSerial, false, ""},
+  };
+  for (const KernelInfo& info : builtins) {
+    kernels_.push_back(info);
+  }
+}
+
+void KernelRegistry::register_kernel(KernelInfo info) {
+  if (info.name.empty()) {
+    throw std::invalid_argument("KernelRegistry::register_kernel: empty kernel name");
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const KernelInfo& existing : kernels_) {
+    if (existing.name == info.name) {
+      throw std::invalid_argument("KernelRegistry::register_kernel: duplicate kernel '" +
+                                  info.name + "'");
+    }
+  }
+  kernels_.push_back(std::move(info));
+}
+
+const KernelInfo* KernelRegistry::find(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const KernelInfo& info : kernels_) {
+    if (info.name == name) {
+      return &info;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<std::string> KernelRegistry::names() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(kernels_.size());
+  for (const KernelInfo& info : kernels_) {
+    out.push_back(info.name);
+  }
+  return out;
+}
+
+}  // namespace sfcvis::exec

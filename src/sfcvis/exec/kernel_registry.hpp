@@ -1,0 +1,64 @@
+// KernelRegistry: the process-wide catalog of schedulable kernels.
+//
+// One registration per kernel names its decomposer (how calls become
+// tiles), its dispatch kind, and its structure-cache dependencies — the
+// metadata JobGraph validates against at submit time, and the single
+// place the "what can this system run" question is answered (the serve
+// layer will enumerate it). The built-in kernels are seeded here in the
+// exec layer as pure metadata — strings, not function pointers — so
+// registration cannot depend on link order of the kernel TUs; the tile
+// bodies themselves travel inside each KernelJob, built per call by the
+// kernel layer's job builders.
+//
+// register_kernel() extends the catalog at runtime for out-of-tree
+// kernels (tests exercise this); entries are never removed, so pointers
+// returned by find() are stable for the life of the process — stable
+// enough to use entry names as trace span tags.
+#pragma once
+
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sfcvis/exec/job.hpp"
+
+namespace sfcvis::exec {
+
+/// Registered metadata of one kernel.
+struct KernelInfo {
+  std::string name;        ///< stable id, e.g. "bilateral.zsweep"
+  std::string decomposer;  ///< "pencils" | "curve-chunks" | "rows" | "image-tiles" | "replay"
+  JobDispatch dispatch = JobDispatch::kStatic;
+  bool uses_structure_cache = false;
+  std::string structures;  ///< cached structure names ("macrocell"); "" = none
+};
+
+class KernelRegistry {
+ public:
+  /// The process-wide registry, seeded with the built-in kernels.
+  [[nodiscard]] static KernelRegistry& instance();
+
+  /// Adds a kernel; throws std::invalid_argument on an empty or duplicate
+  /// name.
+  void register_kernel(KernelInfo info);
+
+  /// The registered entry, or nullptr. The pointer stays valid for the
+  /// process lifetime (entries are append-only).
+  [[nodiscard]] const KernelInfo* find(std::string_view name) const;
+
+  /// All registered kernel names, in registration order.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  KernelRegistry(const KernelRegistry&) = delete;
+  KernelRegistry& operator=(const KernelRegistry&) = delete;
+
+ private:
+  KernelRegistry();  ///< seeds the built-in kernel catalog
+
+  mutable std::mutex mutex_;
+  std::deque<KernelInfo> kernels_;  ///< deque: stable entry addresses
+};
+
+}  // namespace sfcvis::exec

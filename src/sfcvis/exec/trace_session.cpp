@@ -117,6 +117,12 @@ void TraceSession::finish() {
                         : "no locality profiles published by this run";
   locality.profiles = std::move(locality_profiles_);
   locality_profiles_.clear();
+  trace::JobsReport jobs;
+  jobs.available = !job_entries_.empty();
+  jobs.source = jobs.available ? "exec::JobGraph dispatch accounting"
+                               : "no KernelJob ran while this session was active";
+  jobs.jobs = std::move(job_entries_);
+  job_entries_.clear();
   if (!trace_out_.empty()) {
     if (trace::write_text_file(trace_out_, trace::chrome_trace_json(snap))) {
       std::printf("[trace] %s (%llu spans, %s)\n", trace_out_.c_str(),
@@ -129,9 +135,10 @@ void TraceSession::finish() {
   if (!report_out_.empty()) {
     if (trace::write_text_file(
             report_out_,
-            trace::run_report_json(snap, metrics, tables_, &topdown, &locality))) {
-      std::printf("[trace] %s (%zu tables, %zu locality profiles)\n", report_out_.c_str(),
-                  tables_.size(), locality.profiles.size());
+            trace::run_report_json(snap, metrics, tables_, &topdown, &locality, &jobs))) {
+      std::printf("[trace] %s (%zu tables, %zu locality profiles, %zu jobs)\n",
+                  report_out_.c_str(), tables_.size(), locality.profiles.size(),
+                  jobs.jobs.size());
     } else {
       std::fprintf(stderr, "[trace] failed to write %s\n", report_out_.c_str());
     }

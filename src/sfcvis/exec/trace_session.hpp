@@ -43,6 +43,11 @@ class TraceSession {
     locality_profiles_.push_back(std::move(profile));
   }
 
+  /// Records one finished job for the run report's always-present "jobs"
+  /// section (exec::JobGraph publishes every completed job here while a
+  /// session is active).
+  void add_job(trace::JobReportEntry entry) { job_entries_.push_back(std::move(entry)); }
+
   /// Stops tracing and writes the export files once (also run by the
   /// destructor; calling early lets a run flush before its exit path).
   void finish();
@@ -56,6 +61,7 @@ class TraceSession {
   bool active_ = false;
   std::vector<trace::ReportTable> tables_;
   std::vector<trace::LocalityProfile> locality_profiles_;
+  std::vector<trace::JobReportEntry> job_entries_;
   /// Whole-run top-down counters, opened (inherit-enabled, so pool
   /// workers spawned later are covered) while the session is active;
   /// the open failure is reported in the run report otherwise.

@@ -560,6 +560,43 @@ void bilateral_pencil_gather(const VolT& src, core::ArrayVolume& dst,
 void bilateral_reference(const core::ArrayVolume& src, core::ArrayVolume& dst,
                          unsigned radius, float sigma_spatial, float sigma_range);
 
+/// Builds the pencil-decomposed bilateral job. The job's closures
+/// reference `src`/`dst`, which must outlive its run; the weights are
+/// built here (decomposition/prep happens in the builder, not per tile).
+template <core::VolumeBackend VolT>
+[[nodiscard]] exec::KernelJob bilateral_job(const VolT& src, core::ArrayVolume& dst,
+                                            const BilateralParams& params) {
+  auto weights = std::make_shared<const BilateralWeights>(params);
+  const std::size_t pencils = pencil_count(src.extents(), params.pencil);
+  const VolT* src_p = &src;
+  core::ArrayVolume* dst_p = &dst;
+  if (params.use_gather) {
+    return detail::make_state_job(
+        "bilateral", pencils, dst.data(),
+        [weights, params](unsigned) {
+          BilateralGatherScratch scratch;
+          scratch.prepare(*weights, params.pencil);
+          return scratch;
+        },
+        [src_p, dst_p, weights, params](BilateralGatherScratch& scratch, std::size_t pencil,
+                                        unsigned) {
+          SFCVIS_TRACE_SPAN("bilateral.pencil", "gather", pencil);
+          bilateral_pencil_gather(*src_p, *dst_p, *weights, params, pencil, scratch);
+        },
+        "bilateral.parallel", "gather");
+  }
+  // One read view per worker: out-of-core views carry per-worker brick
+  // pins and must not be shared across threads (a PlainView is free).
+  return detail::make_state_job(
+      "bilateral", pencils, dst.data(),
+      [src_p](unsigned) { return core::make_read_view(*src_p); },
+      [dst_p, weights, params](const auto& view, std::size_t pencil, unsigned) {
+        SFCVIS_TRACE_SPAN("bilateral.pencil", "exact", pencil);
+        bilateral_pencil(view, *dst_p, *weights, params, pencil);
+      },
+      "bilateral.parallel", "exact");
+}
+
 /// Shared-memory parallel bilateral filter: pencils are statically
 /// assigned to the context's workers (paper Sec. III-A). Works with any
 /// source layout. With params.use_gather the pencils run the
@@ -568,38 +605,20 @@ void bilateral_reference(const core::ArrayVolume& src, core::ArrayVolume& dst,
 template <core::VolumeBackend VolT>
 void bilateral_parallel(const VolT& src, core::ArrayVolume& dst,
                         const BilateralParams& params, exec::ExecutionContext& ctx) {
-  const BilateralWeights weights(params);
-  const std::size_t pencils = pencil_count(src.extents(), params.pencil);
-  SFCVIS_TRACE_SPAN("bilateral.parallel", params.use_gather ? "gather" : "exact",
-                    pencils);
-  if (params.use_gather) {
-    ctx.parallel_static_state(
-        pencils,
-        [&](unsigned) {
-          BilateralGatherScratch scratch;
-          scratch.prepare(weights, params.pencil);
-          return scratch;
-        },
-        [&](BilateralGatherScratch& scratch, std::size_t pencil, unsigned) {
-          SFCVIS_TRACE_SPAN("bilateral.pencil", "gather", pencil);
-          bilateral_pencil_gather(src, dst, weights, params, pencil, scratch);
-        });
-    return;
-  }
-  // One read view per worker: out-of-core views carry per-worker brick
-  // pins and must not be shared across threads (a PlainView is free).
-  ctx.parallel_static_state(
-      pencils, [&](unsigned) { return core::make_read_view(src); },
-      [&](const auto& view, std::size_t pencil, unsigned) {
-        SFCVIS_TRACE_SPAN("bilateral.pencil", "exact", pencil);
-        bilateral_pencil(view, dst, weights, params, pencil);
-      });
+  detail::run_job(ctx, bilateral_job(src, dst, params));
 }
 
 /// Facade driver: dispatches on the source volume's runtime layout.
 inline void bilateral_parallel(const core::AnyVolume& src, core::ArrayVolume& dst,
                                const BilateralParams& params, exec::ExecutionContext& ctx) {
   src.visit([&](const auto& grid) { bilateral_parallel(grid, dst, params, ctx); });
+}
+
+/// Facade job builder.
+[[nodiscard]] inline exec::KernelJob bilateral_job(const core::AnyVolume& src,
+                                                   core::ArrayVolume& dst,
+                                                   const BilateralParams& params) {
+  return src.visit([&](const auto& grid) { return bilateral_job(grid, dst, params); });
 }
 
 namespace detail {
@@ -639,10 +658,12 @@ void zsweep_range(const core::ZOrderTables& tables, const core::Extents3D& e,
 /// extension the paper's related work (Bader 2013) describes for matrix
 /// codes; bench/abl_traversal quantifies it for the bilateral filter.
 template <core::VolumeBackend VolT>
-void bilateral_zsweep(const VolT& src, core::ArrayVolume& dst,
-                      const BilateralParams& params, exec::ExecutionContext& ctx) {
-  const BilateralWeights weights(params.radius, params.sigma_spatial);
-  const auto& e = src.extents();
+[[nodiscard]] exec::KernelJob bilateral_zsweep_job(const VolT& src, core::ArrayVolume& dst,
+                                                   const BilateralParams& params,
+                                                   const exec::ExecutionContext& ctx) {
+  auto weights =
+      std::make_shared<const BilateralWeights>(params.radius, params.sigma_spatial);
+  const core::Extents3D e = src.extents();
 
   // Chunks are contiguous ranges of the *padded* curve index space, decoded
   // on the fly — the former materialized 12-byte/voxel order vector (1.6 GB
@@ -652,28 +673,39 @@ void bilateral_zsweep(const VolT& src, core::ArrayVolume& dst,
   // *logical* voxels per chunk stays at roughly size / (threads *
   // chunks_per_thread) even when much of the padded curve is holes —
   // 48^3 pads to 64^3: 58% padding).
-  const core::ZOrderTables tables(e);
-  const bool cubic = tables.padded().nx == tables.padded().ny &&
-                     tables.padded().ny == tables.padded().nz;
-  const std::size_t cap = tables.capacity();
+  auto tables = std::make_shared<const core::ZOrderTables>(e);
+  const bool cubic = tables->padded().nx == tables->padded().ny &&
+                     tables->padded().ny == tables->padded().nz;
+  const std::size_t cap = tables->capacity();
   const std::size_t num_chunks = ctx.curve_chunks(e.size(), cap);
   const std::size_t chunk_len = (cap + num_chunks - 1) / num_chunks;
-  SFCVIS_TRACE_SPAN("bilateral.zsweep", nullptr, num_chunks);
+  const VolT* src_p = &src;
+  core::ArrayVolume* dst_p = &dst;
   // One read view per worker: out-of-core views carry per-worker brick
   // pins and must not be shared across threads (a PlainView is free).
-  ctx.parallel_static_state(
-      num_chunks, [&](unsigned) { return core::make_read_view(src); },
-      [&](const auto& view, std::size_t chunk, unsigned) {
+  return detail::make_state_job(
+      "bilateral.zsweep", num_chunks, dst.data(),
+      [src_p](unsigned) { return core::make_read_view(*src_p); },
+      [dst_p, weights, tables, params, e, cubic, cap, chunk_len](
+          const auto& view, std::size_t chunk, unsigned) {
         SFCVIS_TRACE_SPAN("bilateral.zsweep.chunk", nullptr, chunk);
         const std::size_t begin = chunk * chunk_len;
         const std::size_t end = std::min(cap, begin + chunk_len);
-        detail::zsweep_range(tables, e, cubic, std::min(begin, end), end,
+        detail::zsweep_range(*tables, e, cubic, std::min(begin, end), end,
                              [&](std::uint32_t i, std::uint32_t j, std::uint32_t k) {
-                               dst.at(i, j, k) =
-                                   bilateral_voxel(view, i, j, k, weights,
+                               dst_p->at(i, j, k) =
+                                   bilateral_voxel(view, i, j, k, *weights,
                                                    params.sigma_range, params.order);
                              });
-      });
+      },
+      "bilateral.zsweep");
+}
+
+/// Curve-order sweep driver (see bilateral_zsweep_job for the chunking).
+template <core::VolumeBackend VolT>
+void bilateral_zsweep(const VolT& src, core::ArrayVolume& dst,
+                      const BilateralParams& params, exec::ExecutionContext& ctx) {
+  detail::run_job(ctx, bilateral_zsweep_job(src, dst, params, ctx));
 }
 
 /// Facade driver: dispatches on the source volume's runtime layout.
@@ -682,46 +714,69 @@ inline void bilateral_zsweep(const core::AnyVolume& src, core::ArrayVolume& dst,
   src.visit([&](const auto& grid) { bilateral_zsweep(grid, dst, params, ctx); });
 }
 
-/// Counter-collection variant of the curve-order sweep.
+/// Facade job builder.
+[[nodiscard]] inline exec::KernelJob bilateral_zsweep_job(const core::AnyVolume& src,
+                                                          core::ArrayVolume& dst,
+                                                          const BilateralParams& params,
+                                                          const exec::ExecutionContext& ctx) {
+  return src.visit(
+      [&](const auto& grid) { return bilateral_zsweep_job(grid, dst, params, ctx); });
+}
+
+/// Counter-collection variant of the curve-order sweep. Runs as a serial
+/// replay job (kSerial dispatch) on a private single-threaded graph; the
+/// chunk-count formula matches exec::ExecutionContext::curve_chunks so
+/// traced and untraced sweeps decompose identically for the same thread
+/// count and chunks_per_thread (tests/test_jobs.cpp pins this).
 template <core::VolumeBackend VolT, core::SinkProvider ProviderT>
 void bilateral_zsweep_traced(const VolT& src, core::ArrayVolume& dst,
                              const BilateralParams& params, ProviderT& provider,
                              std::size_t max_items = SIZE_MAX,
                              std::size_t chunks_per_thread = 8) {
-  const BilateralWeights weights(params.radius, params.sigma_spatial);
-  const auto& e = src.extents();
+  auto weights =
+      std::make_shared<const BilateralWeights>(params.radius, params.sigma_spatial);
+  const core::Extents3D e = src.extents();
   // Same padded-curve chunking as bilateral_zsweep (chunk ranges are
   // layout-independent, so capped replays compare identical voxel sets
   // across layouts), decoded on the fly — no materialized order vector.
-  const core::ZOrderTables tables(e);
-  const bool cubic = tables.padded().nx == tables.padded().ny &&
-                     tables.padded().ny == tables.padded().nz;
-  const std::size_t cap = tables.capacity();
+  auto tables = std::make_shared<const core::ZOrderTables>(e);
+  const bool cubic = tables->padded().nx == tables->padded().ny &&
+                     tables->padded().ny == tables->padded().nz;
+  const std::size_t cap = tables->capacity();
   const unsigned num_threads = provider.num_threads();
   const std::size_t num_chunks = std::max<std::size_t>(
       1, num_threads * chunks_per_thread * cap / std::max<std::size_t>(1, e.size()));
   const std::size_t chunk_len = (cap + num_chunks - 1) / num_chunks;
-  SFCVIS_TRACE_SPAN("bilateral.zsweep.traced", nullptr, num_chunks);
   const threads::StaticRoundRobin rr(num_chunks, num_threads);
-  std::vector<decltype(provider.sink(0u))> sinks;
-  sinks.reserve(num_threads);
+  auto order = std::make_shared<const std::vector<threads::Assignment>>(rr.replay_order());
+  using Sink = decltype(provider.sink(0u));
+  auto sinks = std::make_shared<std::vector<Sink>>();
+  sinks->reserve(num_threads);
   for (unsigned t = 0; t < num_threads; ++t) {
-    sinks.push_back(provider.sink(t));
+    sinks->push_back(provider.sink(t));
   }
-  std::size_t done = 0;
-  for (const auto& assignment : rr.replay_order()) {
-    if (done++ >= max_items) {
-      break;
-    }
-    const auto view = core::make_traced_view(src, sinks[assignment.tid]);
+  const VolT* src_p = &src;
+  core::ArrayVolume* dst_p = &dst;
+  exec::KernelJob job;
+  job.kernel = "bilateral.zsweep.traced";
+  job.dispatch = exec::JobDispatch::kSerial;
+  job.tiles = std::min(max_items, order->size());
+  job.output = dst.data();
+  job.span_name = "bilateral.zsweep.traced";
+  job.tile = [src_p, dst_p, weights, tables, params, e, cubic, cap, chunk_len, order,
+              sinks](void*, std::size_t t, unsigned) {
+    const auto& assignment = (*order)[t];
+    const auto view = core::make_traced_view(*src_p, (*sinks)[assignment.tid]);
     const std::size_t begin = assignment.item * chunk_len;
     const std::size_t end = std::min(cap, begin + chunk_len);
-    detail::zsweep_range(tables, e, cubic, std::min(begin, end), end,
+    detail::zsweep_range(*tables, e, cubic, std::min(begin, end), end,
                          [&](std::uint32_t i, std::uint32_t j, std::uint32_t k) {
-                           dst.at(i, j, k) = bilateral_voxel(view, i, j, k, weights,
-                                                             params.sigma_range, params.order);
+                           dst_p->at(i, j, k) = bilateral_voxel(
+                               view, i, j, k, *weights, params.sigma_range, params.order);
                          });
-  }
+  };
+  exec::ExecutionContext replay_ctx = detail::make_replay_context();
+  detail::run_job(replay_ctx, std::move(job));
 }
 
 /// Counter-collection variant: replays the exact access stream that
@@ -736,24 +791,34 @@ template <core::VolumeBackend VolT, core::SinkProvider ProviderT>
 void bilateral_traced(const VolT& src, core::ArrayVolume& dst,
                       const BilateralParams& params, ProviderT& provider,
                       std::size_t max_items = SIZE_MAX) {
-  const BilateralWeights weights(params.radius, params.sigma_spatial);
+  auto weights =
+      std::make_shared<const BilateralWeights>(params.radius, params.sigma_spatial);
   const std::size_t pencils = pencil_count(src.extents(), params.pencil);
-  SFCVIS_TRACE_SPAN("bilateral.traced", nullptr, pencils);
   const unsigned num_threads = provider.num_threads();
   const threads::StaticRoundRobin rr(pencils, num_threads);
-  std::vector<decltype(provider.sink(0u))> sinks;
-  sinks.reserve(num_threads);
+  auto order = std::make_shared<const std::vector<threads::Assignment>>(rr.replay_order());
+  using Sink = decltype(provider.sink(0u));
+  auto sinks = std::make_shared<std::vector<Sink>>();
+  sinks->reserve(num_threads);
   for (unsigned t = 0; t < num_threads; ++t) {
-    sinks.push_back(provider.sink(t));
+    sinks->push_back(provider.sink(t));
   }
-  std::size_t done = 0;
-  for (const auto& assignment : rr.replay_order()) {
-    if (done++ >= max_items) {
-      break;
-    }
-    const auto view = core::make_traced_view(src, sinks[assignment.tid]);
-    bilateral_pencil(view, dst, weights, params, assignment.item);
-  }
+  const VolT* src_p = &src;
+  core::ArrayVolume* dst_p = &dst;
+  exec::KernelJob job;
+  job.kernel = "bilateral.traced";
+  job.dispatch = exec::JobDispatch::kSerial;
+  job.tiles = std::min(max_items, order->size());
+  job.output = dst.data();
+  job.span_name = "bilateral.traced";
+  job.tile = [src_p, dst_p, weights, params, order, sinks](void*, std::size_t t,
+                                                           unsigned) {
+    const auto& assignment = (*order)[t];
+    const auto view = core::make_traced_view(*src_p, (*sinks)[assignment.tid]);
+    bilateral_pencil(view, *dst_p, *weights, params, assignment.item);
+  };
+  exec::ExecutionContext replay_ctx = detail::make_replay_context();
+  detail::run_job(replay_ctx, std::move(job));
 }
 
 /// Facade drivers for the traced variants (replay stays single-threaded

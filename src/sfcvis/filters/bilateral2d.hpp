@@ -46,27 +46,44 @@ template <class T, core::Layout2D L>
   return sum / norm;
 }
 
+/// Builds the 2D bilateral job (row/column decomposition per
+/// params.pencil). The job's closures reference `src`/`dst`, which must
+/// outlive its run.
+template <core::Layout2D L>
+[[nodiscard]] exec::KernelJob bilateral2d_job(
+    const core::Grid2D<float, L>& src, core::Grid2D<float, core::ArrayOrderLayout2D>& dst,
+    const Bilateral2DParams& params) {
+  const auto e = src.extents();
+  const core::Grid2D<float, L>* src_p = &src;
+  auto* dst_p = &dst;
+  if (params.pencil == PencilAxis::kX) {
+    return detail::make_job(
+        "bilateral2d", exec::JobDispatch::kStatic, e.ny, dst.data(),
+        [src_p, dst_p, params, e](std::size_t j, unsigned) {
+          for (std::uint32_t i = 0; i < e.nx; ++i) {
+            dst_p->at(i, static_cast<std::uint32_t>(j)) =
+                bilateral2d_pixel(*src_p, i, static_cast<std::uint32_t>(j), params);
+          }
+        },
+        "bilateral2d.parallel", "px");
+  }
+  return detail::make_job(
+      "bilateral2d", exec::JobDispatch::kStatic, e.nx, dst.data(),
+      [src_p, dst_p, params, e](std::size_t i, unsigned) {
+        for (std::uint32_t j = 0; j < e.ny; ++j) {
+          dst_p->at(static_cast<std::uint32_t>(i), j) =
+              bilateral2d_pixel(*src_p, static_cast<std::uint32_t>(i), j, params);
+        }
+      },
+      "bilateral2d.parallel", "py");
+}
+
 /// Shared-memory parallel 2D bilateral filter; output is array-order.
 template <core::Layout2D L>
 void bilateral2d_parallel(const core::Grid2D<float, L>& src,
                           core::Grid2D<float, core::ArrayOrderLayout2D>& dst,
                           const Bilateral2DParams& params, exec::ExecutionContext& ctx) {
-  const auto& e = src.extents();
-  if (params.pencil == PencilAxis::kX) {
-    ctx.parallel_static(e.ny, [&](std::size_t j, unsigned) {
-      for (std::uint32_t i = 0; i < e.nx; ++i) {
-        dst.at(i, static_cast<std::uint32_t>(j)) =
-            bilateral2d_pixel(src, i, static_cast<std::uint32_t>(j), params);
-      }
-    });
-  } else {
-    ctx.parallel_static(e.nx, [&](std::size_t i, unsigned) {
-      for (std::uint32_t j = 0; j < e.ny; ++j) {
-        dst.at(static_cast<std::uint32_t>(i), j) =
-            bilateral2d_pixel(src, static_cast<std::uint32_t>(i), j, params);
-      }
-    });
-  }
+  detail::run_job(ctx, bilateral2d_job(src, dst, params));
 }
 
 }  // namespace sfcvis::filters

@@ -143,6 +143,45 @@ void gaussian_pencil_gather(const VolT& src, core::ArrayVolume& dst,
   }
 }
 
+/// Builds the Gaussian-convolution job (x-pencil decomposition). The
+/// job's closures reference `src`/`dst`, which must outlive its run.
+template <core::VolumeBackend VolT>
+[[nodiscard]] exec::KernelJob gaussian_job(const VolT& src, core::ArrayVolume& dst,
+                                           unsigned radius, float sigma,
+                                           bool use_gather = false) {
+  auto taps = std::make_shared<const std::vector<float>>(gaussian_kernel_1d(radius, sigma));
+  const core::Extents3D e = src.extents();
+  const std::size_t pencils = static_cast<std::size_t>(e.ny) * e.nz;
+  const VolT* src_p = &src;
+  core::ArrayVolume* dst_p = &dst;
+  if (use_gather) {
+    return detail::make_state_job(
+        "gaussian", pencils, dst.data(),
+        [taps](unsigned) {
+          GaussianGatherScratch scratch;
+          scratch.prepare(*taps);
+          return scratch;
+        },
+        [src_p, dst_p, taps](GaussianGatherScratch& scratch, std::size_t p, unsigned) {
+          gaussian_pencil_gather(*src_p, *dst_p, *taps, p, scratch);
+        },
+        "gaussian.parallel", "gather");
+  }
+  // One read view per worker: out-of-core views carry per-worker brick
+  // pins and must not be shared across threads (a PlainView is free).
+  return detail::make_state_job(
+      "gaussian", pencils, dst.data(),
+      [src_p](unsigned) { return core::make_read_view(*src_p); },
+      [dst_p, taps, e](const auto& view, std::size_t p, unsigned) {
+        const auto j = static_cast<std::uint32_t>(p % e.ny);
+        const auto k = static_cast<std::uint32_t>(p / e.ny);
+        for (std::uint32_t i = 0; i < e.nx; ++i) {
+          dst_p->at(i, j, k) = gaussian_voxel(view, i, j, k, *taps);
+        }
+      },
+      "gaussian.parallel", "direct");
+}
+
 /// Parallel dense Gaussian convolution over x-pencils. With use_gather the
 /// pencils run the sliding-window gather + explicit-SIMD fast path on
 /// per-worker scratch (bench/abl_simd quantifies the speedup); off keeps
@@ -150,33 +189,7 @@ void gaussian_pencil_gather(const VolT& src, core::ArrayVolume& dst,
 template <core::VolumeBackend VolT>
 void gaussian_convolve(const VolT& src, core::ArrayVolume& dst, unsigned radius,
                        float sigma, exec::ExecutionContext& ctx, bool use_gather = false) {
-  const auto taps = gaussian_kernel_1d(radius, sigma);
-  const auto& e = src.extents();
-  const std::size_t pencils = static_cast<std::size_t>(e.ny) * e.nz;
-  if (use_gather) {
-    ctx.parallel_static_state(
-        pencils,
-        [&](unsigned) {
-          GaussianGatherScratch scratch;
-          scratch.prepare(taps);
-          return scratch;
-        },
-        [&](GaussianGatherScratch& scratch, std::size_t p, unsigned) {
-          gaussian_pencil_gather(src, dst, taps, p, scratch);
-        });
-    return;
-  }
-  // One read view per worker: out-of-core views carry per-worker brick
-  // pins and must not be shared across threads (a PlainView is free).
-  ctx.parallel_static_state(
-      pencils, [&](unsigned) { return core::make_read_view(src); },
-      [&](const auto& view, std::size_t p, unsigned) {
-        const auto j = static_cast<std::uint32_t>(p % e.ny);
-        const auto k = static_cast<std::uint32_t>(p / e.ny);
-        for (std::uint32_t i = 0; i < e.nx; ++i) {
-          dst.at(i, j, k) = gaussian_voxel(view, i, j, k, taps);
-        }
-      });
+  detail::run_job(ctx, gaussian_job(src, dst, radius, sigma, use_gather));
 }
 
 /// Facade driver: dispatches on the source volume's runtime layout.
@@ -186,6 +199,14 @@ inline void gaussian_convolve(const core::AnyVolume& src, core::ArrayVolume& dst
   src.visit([&](const auto& grid) {
     gaussian_convolve(grid, dst, radius, sigma, ctx, use_gather);
   });
+}
+
+/// Facade job builder.
+[[nodiscard]] inline exec::KernelJob gaussian_job(const core::AnyVolume& src,
+                                                  core::ArrayVolume& dst, unsigned radius,
+                                                  float sigma, bool use_gather = false) {
+  return src.visit(
+      [&](const auto& grid) { return gaussian_job(grid, dst, radius, sigma, use_gather); });
 }
 
 /// Serial three-pass separable Gaussian (array-order only); numerically

@@ -10,6 +10,7 @@
 #include "sfcvis/core/traced_view.hpp"
 #include "sfcvis/core/volume.hpp"
 #include "sfcvis/exec/execution_context.hpp"
+#include "sfcvis/filters/kernels_common.hpp"
 
 namespace sfcvis::filters {
 
@@ -26,30 +27,47 @@ template <core::ReadView3D View>
           0.5f * (src.at_clamped(si, sj, sk + 1) - src.at_clamped(si, sj, sk - 1))};
 }
 
-/// Parallel gradient-magnitude field over x-pencils.
+/// Builds the gradient-magnitude job (x-pencil decomposition). The job's
+/// closures reference `src`/`dst`, which must outlive its run.
 template <core::VolumeBackend VolT>
-void gradient_magnitude(const VolT& src, core::ArrayVolume& dst,
-                        exec::ExecutionContext& ctx) {
-  const auto& e = src.extents();
+[[nodiscard]] exec::KernelJob gradient_job(const VolT& src, core::ArrayVolume& dst) {
+  const core::Extents3D e = src.extents();
   const std::size_t pencils = static_cast<std::size_t>(e.ny) * e.nz;
+  const VolT* src_p = &src;
+  core::ArrayVolume* dst_p = &dst;
   // One read view per worker: out-of-core views carry per-worker brick
   // pins and must not be shared across threads (a PlainView is free).
-  ctx.parallel_static_state(
-      pencils, [&](unsigned) { return core::make_read_view(src); },
-      [&](const auto& view, std::size_t p, unsigned) {
+  return detail::make_state_job(
+      "gradient", pencils, dst.data(),
+      [src_p](unsigned) { return core::make_read_view(*src_p); },
+      [dst_p, e](const auto& view, std::size_t p, unsigned) {
         const auto j = static_cast<std::uint32_t>(p % e.ny);
         const auto k = static_cast<std::uint32_t>(p / e.ny);
         for (std::uint32_t i = 0; i < e.nx; ++i) {
           const auto g = gradient_voxel(view, i, j, k);
-          dst.at(i, j, k) = std::sqrt(g[0] * g[0] + g[1] * g[1] + g[2] * g[2]);
+          dst_p->at(i, j, k) = std::sqrt(g[0] * g[0] + g[1] * g[1] + g[2] * g[2]);
         }
-      });
+      },
+      "gradient.parallel");
+}
+
+/// Parallel gradient-magnitude field over x-pencils.
+template <core::VolumeBackend VolT>
+void gradient_magnitude(const VolT& src, core::ArrayVolume& dst,
+                        exec::ExecutionContext& ctx) {
+  detail::run_job(ctx, gradient_job(src, dst));
 }
 
 /// Facade driver: dispatches on the source volume's runtime layout.
 inline void gradient_magnitude(const core::AnyVolume& src, core::ArrayVolume& dst,
                                exec::ExecutionContext& ctx) {
   src.visit([&](const auto& grid) { gradient_magnitude(grid, dst, ctx); });
+}
+
+/// Facade job builder.
+[[nodiscard]] inline exec::KernelJob gradient_job(const core::AnyVolume& src,
+                                                  core::ArrayVolume& dst) {
+  return src.visit([&](const auto& grid) { return gradient_job(grid, dst); });
 }
 
 }  // namespace sfcvis::filters

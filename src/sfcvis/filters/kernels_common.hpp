@@ -1,10 +1,22 @@
 // Shared vocabulary of the stencil kernels: pencil (voxel-row) assignment
 // axes and stencil iteration orders, named as in the paper's figures
-// ("px", "pz", "xyz", "zyx"; Sec. III-A and IV-B3).
+// ("px", "pz", "xyz", "zyx"; Sec. III-A and IV-B3) — plus the job-builder
+// helpers every kernel driver assembles its exec::KernelJob with. The
+// drivers themselves are thin: build a job (decomposition happens in the
+// builder), submit it to the context's JobGraph, run it to completion.
+// This file is where the per-kernel ExecutionContext& overload
+// boilerplate the drivers used to repeat now lives once.
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <string_view>
+#include <type_traits>
+#include <utility>
+
+#include "sfcvis/exec/execution_context.hpp"
+#include "sfcvis/exec/job.hpp"
 
 namespace sfcvis::filters {
 
@@ -32,5 +44,62 @@ enum class LoopOrder : std::uint8_t { kXYZ, kZYX };
 [[nodiscard]] constexpr std::string_view to_string(LoopOrder o) noexcept {
   return o == LoopOrder::kXYZ ? "xyz" : "zyx";
 }
+
+namespace detail {
+
+/// Builds the common shape of a stateless kernel job: `tiles` items under
+/// `dispatch`, each running fn(item, tid). `output` is the identity of
+/// the written buffer (JobGraph's double-submit guard keys on it);
+/// `span_name`/`span_tag` keep the kernel's historical trace phase names
+/// and must be string literals.
+template <class Fn>
+[[nodiscard]] exec::KernelJob make_job(std::string kernel, exec::JobDispatch dispatch,
+                                       std::size_t tiles, const void* output, Fn fn,
+                                       const char* span_name,
+                                       const char* span_tag = nullptr) {
+  exec::KernelJob job;
+  job.kernel = std::move(kernel);
+  job.dispatch = dispatch;
+  job.tiles = tiles;
+  job.output = output;
+  job.span_name = span_name;
+  job.span_tag = span_tag;
+  job.tile = [fn = std::move(fn)](void*, std::size_t item, unsigned tid) { fn(item, tid); };
+  return job;
+}
+
+/// make_job with per-worker state (the scratch/read-view slot the
+/// parallel_static_state dispatch owns): make(tid) -> State once per
+/// worker, then fn(state, item, tid) for each of its items. Always
+/// static-dispatched, matching the round-robin pencil model.
+template <class Make, class Fn>
+[[nodiscard]] exec::KernelJob make_state_job(std::string kernel, std::size_t tiles,
+                                             const void* output, Make make, Fn fn,
+                                             const char* span_name,
+                                             const char* span_tag = nullptr) {
+  using State = std::decay_t<decltype(make(0U))>;
+  exec::KernelJob job;
+  job.kernel = std::move(kernel);
+  job.dispatch = exec::JobDispatch::kStatic;
+  job.tiles = tiles;
+  job.output = output;
+  job.span_name = span_name;
+  job.span_tag = span_tag;
+  job.make_state = [make = std::move(make)](unsigned tid) -> std::shared_ptr<void> {
+    return std::make_shared<State>(make(tid));
+  };
+  job.tile = [fn = std::move(fn)](void* state, std::size_t item, unsigned tid) {
+    fn(*static_cast<State*>(state), item, tid);
+  };
+  return job;
+}
+
+/// exec::run_job / exec::make_replay_context under the filters spelling
+/// the kernel drivers use (they live in the exec layer so render/ can
+/// share them without depending on filters/).
+using exec::make_replay_context;
+using exec::run_job;
+
+}  // namespace detail
 
 }  // namespace sfcvis::filters

@@ -39,32 +39,50 @@ template <core::ReadView3D View>
   return *mid;
 }
 
-/// Parallel 3D median filter over x-pencils.
+/// Builds the median-filter job (x-pencil decomposition). The job's
+/// closures reference `src`/`dst`, which must outlive its run.
 template <core::VolumeBackend VolT>
-void median_filter(const VolT& src, core::ArrayVolume& dst,
-                   unsigned radius, exec::ExecutionContext& ctx) {
-  const auto& e = src.extents();
+[[nodiscard]] exec::KernelJob median_job(const VolT& src, core::ArrayVolume& dst,
+                                         unsigned radius) {
+  const core::Extents3D e = src.extents();
   const std::size_t pencils = static_cast<std::size_t>(e.ny) * e.nz;
   const std::size_t taps = static_cast<std::size_t>(2 * radius + 1);
+  const VolT* src_p = &src;
+  core::ArrayVolume* dst_p = &dst;
   // One read view per worker: out-of-core views carry per-worker brick
   // pins and must not be shared across threads (a PlainView is free).
-  ctx.parallel_static_state(
-      pencils, [&](unsigned) { return core::make_read_view(src); },
-      [&, taps](const auto& view, std::size_t p, unsigned) {
+  return detail::make_state_job(
+      "median", pencils, dst.data(),
+      [src_p](unsigned) { return core::make_read_view(*src_p); },
+      [dst_p, e, radius, taps](const auto& view, std::size_t p, unsigned) {
         std::vector<float> scratch;
         scratch.reserve(taps * taps * taps);
         const auto j = static_cast<std::uint32_t>(p % e.ny);
         const auto k = static_cast<std::uint32_t>(p / e.ny);
         for (std::uint32_t i = 0; i < e.nx; ++i) {
-          dst.at(i, j, k) = median_voxel(view, i, j, k, radius, scratch);
+          dst_p->at(i, j, k) = median_voxel(view, i, j, k, radius, scratch);
         }
-      });
+      },
+      "median.parallel");
+}
+
+/// Parallel 3D median filter over x-pencils.
+template <core::VolumeBackend VolT>
+void median_filter(const VolT& src, core::ArrayVolume& dst,
+                   unsigned radius, exec::ExecutionContext& ctx) {
+  detail::run_job(ctx, median_job(src, dst, radius));
 }
 
 /// Facade driver: dispatches on the source volume's runtime layout.
 inline void median_filter(const core::AnyVolume& src, core::ArrayVolume& dst,
                           unsigned radius, exec::ExecutionContext& ctx) {
   src.visit([&](const auto& grid) { median_filter(grid, dst, radius, ctx); });
+}
+
+/// Facade job builder.
+[[nodiscard]] inline exec::KernelJob median_job(const core::AnyVolume& src,
+                                                core::ArrayVolume& dst, unsigned radius) {
+  return src.visit([&](const auto& grid) { return median_job(grid, dst, radius); });
 }
 
 }  // namespace sfcvis::filters

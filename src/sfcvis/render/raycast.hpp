@@ -431,59 +431,93 @@ namespace detail {
 
 }  // namespace detail
 
-/// Shared-memory parallel render: tiles consumed by the context's dynamic
-/// dispatch (the paper's best work-assignment strategy).
+/// Builds the render job: image tiles under dynamic dispatch (the paper's
+/// best work-assignment strategy). The job's closures reference `volume`,
+/// `tf` and `image`, which must outlive its run.
 ///
 /// When config.use_macrocells is set the render takes the empty-space-
 /// skipping path: a caller-provided `cells` grid is used as-is, otherwise
-/// the context's StructureCache supplies one — built on first use, keyed
-/// on the volume's storage identity and cell size, and reused by every
-/// later render of the same volume (the fig4/fig5 orbit pattern no longer
-/// pays a full rebuild per viewpoint). Mutating a volume in place requires
-/// ctx.structures().invalidate(volume.data()). With `collect_stats` each
-/// worker folds its tile-local RayStats into the metrics registry
-/// ("raycast.*" counters; read them via Tracer::metrics_snapshot /
-/// render::skip_rate).
+/// the running context's StructureCache supplies one — looked up in
+/// job.prepare (not at build time), so back-to-back queued renders of one
+/// volume share a single grid and every job after the first records a
+/// structure-cache hit in its JobRecord. The grid is built on first use,
+/// keyed on the volume's storage identity and cell size, and reused by
+/// every later render of the same volume (the fig4/fig5 orbit pattern no
+/// longer pays a full rebuild per viewpoint). Mutating a volume in place
+/// requires ctx.structures().invalidate(volume.data()). With
+/// `collect_stats` each worker folds its tile-local RayStats into the
+/// metrics registry ("raycast.*" counters; read them via
+/// Tracer::metrics_snapshot / render::skip_rate).
+template <core::VolumeBackend VolT>
+[[nodiscard]] exec::KernelJob raycast_job(const VolT& volume, const Camera& camera,
+                                          const TransferFunction& tf,
+                                          const RenderConfig& config, Image& image,
+                                          const MacrocellGrid* cells = nullptr,
+                                          bool collect_stats = false) {
+  validate_packet_size(config.packet_size);
+  const TileDecomposition tiles(config.image_width, config.image_height, config.tile_size);
+  using View = decltype(core::make_read_view(volume));
+  // Per-run state resolved in job.prepare: the macrocell grid (cache
+  // lookup) and one read view per worker (out-of-core views carry
+  // per-worker brick pins and must not be shared across threads; a
+  // PlainView is free).
+  struct Shared {
+    std::shared_ptr<const MacrocellGrid> cached_cells;
+    const MacrocellGrid* use_cells = nullptr;
+    std::vector<View> views;
+  };
+  auto shared = std::make_shared<Shared>();
+  if (config.use_macrocells && cells != nullptr) {
+    shared->use_cells = cells;
+  }
+  const VolT* vol_p = &volume;
+  const TransferFunction* tf_p = &tf;
+  Image* img_p = &image;
+  exec::KernelJob job;
+  job.kernel = "raycast";
+  job.dispatch = exec::JobDispatch::kDynamic;
+  job.tiles = tiles.count();
+  job.output = image.pixels().data();
+  job.span_name = "raycast.parallel";
+  job.span_tag = config.use_macrocells ? "macrocell" : "dense";
+  job.prepare = [shared, vol_p, config](exec::ExecutionContext& ctx) {
+    if (config.use_macrocells && shared->use_cells == nullptr) {
+      shared->cached_cells = ctx.structures().get_or_build<MacrocellGrid>(
+          vol_p->data(),
+          detail::macrocell_cache_key(vol_p->extents(), config.macrocell_size,
+                                      core::volume_cache_salt(*vol_p)),
+          [&] { return MacrocellGrid::build(*vol_p, config.macrocell_size, &ctx); });
+      shared->use_cells = shared->cached_cells.get();
+    }
+    shared->views.clear();
+    shared->views.reserve(ctx.size());
+    for (unsigned t = 0; t < ctx.size(); ++t) {
+      shared->views.push_back(core::make_read_view(*vol_p));
+    }
+  };
+  job.tile = [shared, tf_p, img_p, camera, config, tiles, collect_stats](
+                 void*, std::size_t t, unsigned tid) {
+    SFCVIS_TRACE_SPAN("raycast.tile", nullptr, t);
+    RayStats tile_stats;
+    render_tile(shared->views[tid], camera, *tf_p, config, *img_p, tiles.bounds(t),
+                shared->use_cells, collect_stats ? &tile_stats : nullptr);
+    if (collect_stats) {
+      detail::fold_ray_stats(tile_stats);
+    }
+  };
+  return job;
+}
+
+/// Shared-memory parallel render (see raycast_job for the macrocell and
+/// stats semantics).
 template <core::VolumeBackend VolT>
 [[nodiscard]] Image raycast_parallel(const VolT& volume,
                                      const Camera& camera, const TransferFunction& tf,
                                      const RenderConfig& config, exec::ExecutionContext& ctx,
                                      const MacrocellGrid* cells = nullptr,
                                      bool collect_stats = false) {
-  validate_packet_size(config.packet_size);
   Image image(config.image_width, config.image_height);
-  std::shared_ptr<const MacrocellGrid> cached_cells;
-  const MacrocellGrid* use_cells = nullptr;
-  if (config.use_macrocells) {
-    if (cells == nullptr) {
-      cached_cells = ctx.structures().get_or_build<MacrocellGrid>(
-          volume.data(),
-          detail::macrocell_cache_key(volume.extents(), config.macrocell_size,
-                                      core::volume_cache_salt(volume)),
-          [&] { return MacrocellGrid::build(volume, config.macrocell_size, &ctx); });
-      cells = cached_cells.get();
-    }
-    use_cells = cells;
-  }
-  const TileDecomposition tiles(config.image_width, config.image_height, config.tile_size);
-  SFCVIS_TRACE_SPAN("raycast.parallel", use_cells != nullptr ? "macrocell" : "dense",
-                    tiles.count());
-  // One read view per worker: out-of-core views carry per-worker brick
-  // pins and must not be shared across threads (a PlainView is free).
-  std::vector<decltype(core::make_read_view(volume))> views;
-  views.reserve(ctx.size());
-  for (unsigned t = 0; t < ctx.size(); ++t) {
-    views.push_back(core::make_read_view(volume));
-  }
-  ctx.parallel_dynamic(tiles.count(), [&](std::size_t t, unsigned tid) {
-    SFCVIS_TRACE_SPAN("raycast.tile", nullptr, t);
-    RayStats tile_stats;
-    render_tile(views[tid], camera, tf, config, image, tiles.bounds(t), use_cells,
-                collect_stats ? &tile_stats : nullptr);
-    if (collect_stats) {
-      detail::fold_ray_stats(tile_stats);
-    }
-  });
+  exec::run_job(ctx, raycast_job(volume, camera, tf, config, image, cells, collect_stats));
   return image;
 }
 
@@ -497,6 +531,18 @@ template <core::VolumeBackend VolT>
                                             bool collect_stats = false) {
   return volume.visit([&](const auto& grid) {
     return raycast_parallel(grid, camera, tf, config, ctx, cells, collect_stats);
+  });
+}
+
+/// Facade job builder.
+[[nodiscard]] inline exec::KernelJob raycast_job(const core::AnyVolume& volume,
+                                                 const Camera& camera,
+                                                 const TransferFunction& tf,
+                                                 const RenderConfig& config, Image& image,
+                                                 const MacrocellGrid* cells = nullptr,
+                                                 bool collect_stats = false) {
+  return volume.visit([&](const auto& grid) {
+    return raycast_job(grid, camera, tf, config, image, cells, collect_stats);
   });
 }
 
@@ -519,42 +565,59 @@ template <core::VolumeBackend VolT, core::SinkProvider ProviderT>
                                    bool collect_stats = false) {
   validate_packet_size(config.packet_size);
   Image image(config.image_width, config.image_height);
-  MacrocellGrid local_cells;
+  // The replay builds its grid locally and serially (deterministic, no
+  // context in scope). tests/test_jobs.cpp pins that the serial build
+  // matches the context-parallel build the native render caches, so
+  // traced and untraced skipping paths stay bit-identical.
+  auto local_cells = std::make_shared<MacrocellGrid>();
   const MacrocellGrid* use_cells = nullptr;
   if (config.use_macrocells) {
     if (cells == nullptr) {
-      local_cells = MacrocellGrid::build(volume, config.macrocell_size);
-      cells = &local_cells;
+      *local_cells = MacrocellGrid::build(volume, config.macrocell_size);
+      cells = local_cells.get();
     }
     use_cells = cells;
   }
   const TileDecomposition tiles(config.image_width, config.image_height, config.tile_size);
-  SFCVIS_TRACE_SPAN("raycast.traced", use_cells != nullptr ? "macrocell" : "dense",
-                    tiles.count());
   const unsigned num_threads = provider.num_threads();
   const threads::StaticRoundRobin rr(tiles.count(), num_threads);
-  std::vector<decltype(provider.sink(0u))> sinks;
-  sinks.reserve(num_threads);
+  auto order = std::make_shared<const std::vector<threads::Assignment>>(rr.replay_order());
+  using Sink = decltype(provider.sink(0u));
+  auto sinks = std::make_shared<std::vector<Sink>>();
+  sinks->reserve(num_threads);
   for (unsigned t = 0; t < num_threads; ++t) {
-    sinks.push_back(provider.sink(t));
+    sinks->push_back(provider.sink(t));
   }
-  std::size_t done = 0;
-  std::uint64_t rendered = 0;
-  RayStats run_stats;
-  for (const auto& assignment : rr.replay_order()) {
-    if (done++ >= max_items) {
-      break;
-    }
-    const auto view = core::make_traced_view(volume, sinks[assignment.tid]);
+  struct ReplayStats {
+    RayStats run_stats;
+    std::uint64_t rendered = 0;
+  };
+  auto stats = std::make_shared<ReplayStats>();
+  const VolT* vol_p = &volume;
+  const TransferFunction* tf_p = &tf;
+  Image* img_p = &image;
+  exec::KernelJob job;
+  job.kernel = "raycast.traced";
+  job.dispatch = exec::JobDispatch::kSerial;
+  job.tiles = std::min(max_items, order->size());
+  job.output = image.pixels().data();
+  job.span_name = "raycast.traced";
+  job.span_tag = use_cells != nullptr ? "macrocell" : "dense";
+  job.tile = [vol_p, tf_p, img_p, camera, config, tiles, local_cells, use_cells, order,
+              sinks, stats, collect_stats](void*, std::size_t t, unsigned) {
+    const auto& assignment = (*order)[t];
+    const auto view = core::make_traced_view(*vol_p, (*sinks)[assignment.tid]);
     RayStats tile_stats;
-    render_tile(view, camera, tf, config, image, tiles.bounds(assignment.item), use_cells,
-                collect_stats ? &tile_stats : nullptr);
-    run_stats.add(tile_stats);
-    ++rendered;
-  }
+    render_tile(view, camera, *tf_p, config, *img_p, tiles.bounds(assignment.item),
+                use_cells, collect_stats ? &tile_stats : nullptr);
+    stats->run_stats.add(tile_stats);
+    ++stats->rendered;
+  };
+  exec::ExecutionContext replay_ctx = exec::make_replay_context();
+  exec::run_job(replay_ctx, std::move(job));
   if (collect_stats) {
     // Replay is single-threaded: all logical threads fold on this one.
-    detail::fold_ray_stats(run_stats, rendered);
+    detail::fold_ray_stats(stats->run_stats, stats->rendered);
   }
   return image;
 }

@@ -159,7 +159,8 @@ std::string chrome_trace_json(const TraceSnapshot& snap) {
 
 std::string run_report_json(const TraceSnapshot& snap, const MetricsSnapshot& metrics,
                             const std::vector<ReportTable>& tables,
-                            const TopDownReport* topdown, const LocalityReport* locality) {
+                            const TopDownReport* topdown, const LocalityReport* locality,
+                            const JobsReport* jobs) {
   // Aggregate spans into phases (ordered by name, then tag, for a stable
   // report) and sum depth-0 deltas: nested spans are contained in their
   // parents, so only top-level spans sum to the whole-run totals.
@@ -289,6 +290,47 @@ std::string run_report_json(const TraceSnapshot& snap, const MetricsSnapshot& me
       } else {
         w.null();
       }
+      w.end_object();
+    }
+  }
+  w.end_array();
+  w.end_object();
+
+  // Per-job dispatch accounting (exec::JobGraph) — always present, like
+  // topdown/locality; runs that never submitted a KernelJob record why.
+  w.key("jobs");
+  w.begin_object();
+  w.key("available");
+  w.value(jobs != nullptr && jobs->available);
+  w.key("source");
+  w.value(jobs == nullptr ? "no job graph ran while tracing (exec::JobGraph)" : jobs->source);
+  w.key("jobs");
+  w.begin_array();
+  if (jobs != nullptr) {
+    for (const JobReportEntry& j : jobs->jobs) {
+      w.begin_object();
+      w.key("id");
+      w.value(j.id);
+      w.key("kernel");
+      w.value(j.kernel);
+      w.key("state");
+      w.value(j.state);
+      w.key("tiles");
+      w.value(j.tiles);
+      w.key("tiles_run");
+      w.value(j.tiles_run);
+      w.key("queue_wait_ns");
+      w.value(j.queue_wait_ns);
+      w.key("run_ns");
+      w.value(j.run_ns);
+      w.key("deadline_ns");
+      w.value(j.deadline_ns);
+      w.key("deadline_missed");
+      w.value(j.deadline_missed);
+      w.key("structure_cache_hits");
+      w.value(j.structure_cache_hits);
+      w.key("structure_cache_misses");
+      w.value(j.structure_cache_misses);
       w.end_object();
     }
   }

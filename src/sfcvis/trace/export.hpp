@@ -90,20 +90,47 @@ struct LocalityReport {
   std::vector<LocalityProfile> profiles;
 };
 
+/// One finished (or cancelled) kernel job as attributed in the run
+/// report's "jobs" section — plain data, produced by exec::JobGraph and
+/// kept dependency-free here like ReportTable.
+struct JobReportEntry {
+  std::uint64_t id = 0;
+  std::string kernel;
+  std::string state;  ///< "done" or "cancelled"
+  std::uint64_t tiles = 0;
+  std::uint64_t tiles_run = 0;
+  std::uint64_t queue_wait_ns = 0;
+  std::uint64_t run_ns = 0;
+  std::uint64_t deadline_ns = 0;  ///< 0 = no deadline
+  bool deadline_missed = false;
+  std::uint64_t structure_cache_hits = 0;
+  std::uint64_t structure_cache_misses = 0;
+};
+
+/// The run report's always-present "jobs" section (reported-fallback
+/// idiom): when no JobGraph ran, `available` is false and `source` says
+/// why.
+struct JobsReport {
+  bool available = false;
+  std::string source;
+  std::vector<JobReportEntry> jobs;
+};
+
 /// Chrome trace-event JSON (Perfetto-loadable). Spans become "X" events;
 /// threads are named via "M" metadata events ("worker N" or "thread N").
 [[nodiscard]] std::string chrome_trace_json(const TraceSnapshot& snap);
 
 /// The run report: versioned JSON with hw-counter provenance, per-phase
 /// aggregates (phase = span name + tag), per-thread values, the metrics
-/// registry, `tables`, the top-down slot breakdown, and the locality
-/// section (`topdown` / `locality` may be null — the sections are then
-/// emitted as unavailable).
+/// registry, `tables`, the top-down slot breakdown, the locality section,
+/// and the per-job dispatch section (`topdown` / `locality` / `jobs` may
+/// be null — the sections are then emitted as unavailable).
 [[nodiscard]] std::string run_report_json(const TraceSnapshot& snap,
                                           const MetricsSnapshot& metrics,
                                           const std::vector<ReportTable>& tables = {},
                                           const TopDownReport* topdown = nullptr,
-                                          const LocalityReport* locality = nullptr);
+                                          const LocalityReport* locality = nullptr,
+                                          const JobsReport* jobs = nullptr);
 
 /// Writes `contents` to `path`; false (with intact errno) on failure.
 bool write_text_file(const std::string& path, std::string_view contents);

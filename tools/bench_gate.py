@@ -103,6 +103,20 @@ BENCHES = [
         },
     },
     {
+        "binary": "abl_job_overhead",
+        "args": ["--quick"],
+        "tables": {
+            # Job-path replay counters must equal the direct loop's exactly
+            # (the ratio row is pinned at 1.0), and the second queued
+            # raycast must keep hitting the shared macrocell grid. Both are
+            # deterministic; the binary additionally hard-fails on any
+            # divergence. Wall-clock dispatch overhead only advises.
+            "abl_job_model.csv": "lower",
+            "abl_job_cache.csv": "higher",
+            "abl_job_walltime.csv": "advisory",
+        },
+    },
+    {
         "binary": "abl_locality",
         "args": ["--quick"],
         "tables": {

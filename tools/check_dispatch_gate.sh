@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Dispatch gate: the raw threads::parallel_for* primitives may only be
+# called from src/sfcvis/exec/ (the ExecutionContext / JobGraph dispatch
+# layer) and src/sfcvis/threads/ (their home). Every kernel driver must
+# go through an exec::KernelJob (filters/kernels_common.hpp builders) or,
+# for structure builds, the ctx.parallel_* methods — never the free
+# functions. tests/ are exempt (they unit-test the primitives), and
+# bench/abl_scheduler.cpp is allowlisted: it deliberately benchmarks the
+# raw pool/OpenMP primitives against each other (DESIGN.md Sec. 6).
+#
+# Usage: check_dispatch_gate.sh [repo-root]   (defaults to the script's repo)
+set -u
+
+root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+pattern='parallel_for(_static(_state)?|_dynamic|_omp_static|_omp_dynamic)?[[:space:]]*\('
+
+violations=$(grep -rnE "$pattern" \
+  "$root/src" "$root/bench" "$root/examples" "$root/tools" 2>/dev/null \
+  | grep -v "^$root/src/sfcvis/exec/" \
+  | grep -v "^$root/src/sfcvis/threads/" \
+  | grep -v "^$root/bench/abl_scheduler.cpp:" \
+  | grep -v "^$root/tools/check_dispatch_gate.sh:")
+
+if [ -n "$violations" ]; then
+  echo "dispatch gate FAILED: direct threads::parallel_for* calls outside"
+  echo "src/sfcvis/exec/ and src/sfcvis/threads/ — build an exec::KernelJob"
+  echo "and submit it through ExecutionContext::jobs() (or use the"
+  echo "ctx.parallel_* methods for structure builds):"
+  echo
+  echo "$violations"
+  exit 1
+fi
+
+echo "dispatch gate OK: no direct parallel_for calls outside exec/ and threads/"
+exit 0

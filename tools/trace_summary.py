@@ -37,6 +37,7 @@ RUN_REPORT_REQUIRED = (
     "hw_counters",
     "topdown",
     "locality",
+    "jobs",
     "threads",
     "phases",
     "metrics",
@@ -146,6 +147,7 @@ def validate_report(doc, path):
                 f"its row/col labels ({rows}x{cols})")
     validate_brick_cache(doc, path, required=False)
     validate_locality(doc, path, required=False)
+    validate_jobs(doc, path, required=False)
 
 
 def brick_cache_totals(doc):
@@ -265,6 +267,62 @@ def validate_locality(doc, path, required):
                                           who + " sampled")
 
 
+JOB_ENTRY_KEYS = ("id", "kernel", "state", "tiles", "tiles_run",
+                  "queue_wait_ns", "run_ns", "deadline_ns", "deadline_missed",
+                  "structure_cache_hits", "structure_cache_misses")
+JOB_STATES = ("done", "cancelled")
+
+
+def validate_jobs(doc, path, required):
+    """Checks the 'jobs' run-report section (exec::JobGraph dispatch).
+
+    The section is always present; available=False carries a reason in
+    'source'. An available section must hold at least one job entry, each
+    with the full per-job accounting set: unique positive ids, a terminal
+    state, tiles_run consistent with the state (a done job ran every tile;
+    only cancellation cuts a job short), and a deadline miss only ever
+    flagged against a real deadline. With required=True (CI's trace-smoke
+    job on the job-overhead bench), an unavailable section fails outright.
+    """
+    jobs = doc.get("jobs")
+    if not isinstance(jobs, dict) or "available" not in jobs or "source" not in jobs:
+        raise ValidationError(f"{path}: jobs must carry available + source")
+    if not jobs["available"]:
+        if required:
+            raise ValidationError(
+                f"{path}: jobs section unavailable ({jobs['source']}) but "
+                f"--require-jobs was given")
+        return
+    entries = jobs.get("jobs")
+    if not entries:
+        raise ValidationError(f"{path}: jobs reported available with no entries")
+    seen_ids = set()
+    for n, job in enumerate(entries):
+        who = f"job [{n}]"
+        for key in JOB_ENTRY_KEYS:
+            if key not in job:
+                raise ValidationError(f"{path}: {who} missing '{key}'")
+        who = f"job {job['id']} ({job['kernel']})"
+        if job["id"] <= 0 or job["id"] in seen_ids:
+            raise ValidationError(f"{path}: {who} id not unique and positive")
+        seen_ids.add(job["id"])
+        if job["state"] not in JOB_STATES:
+            raise ValidationError(
+                f"{path}: {who} state '{job['state']}' not terminal "
+                f"(expected one of {JOB_STATES})")
+        if job["tiles_run"] > job["tiles"]:
+            raise ValidationError(
+                f"{path}: {who} ran more tiles than decomposed "
+                f"({job['tiles_run']} > {job['tiles']})")
+        if job["state"] == "done" and job["tiles_run"] != job["tiles"]:
+            raise ValidationError(
+                f"{path}: {who} done with {job['tiles_run']}/{job['tiles']} "
+                f"tiles — only cancellation may cut a job short")
+        if job["deadline_missed"] and job["deadline_ns"] == 0:
+            raise ValidationError(
+                f"{path}: {who} flags a deadline miss without a deadline")
+
+
 # ---------------------------------------------------------------------------
 # Summaries
 # ---------------------------------------------------------------------------
@@ -360,6 +418,24 @@ def summarize_report(doc, path):
         else:
             print(f"\nlocality: unavailable ({loc.get('source', '?')})")
 
+    jobs = doc.get("jobs")
+    if jobs:
+        if jobs.get("available"):
+            entries = jobs["jobs"]
+            print(f"\njobs ({len(entries)}):")
+            for j in entries:
+                cache = ""
+                if j["structure_cache_hits"] or j["structure_cache_misses"]:
+                    cache = (f"  cache {j['structure_cache_hits']}h/"
+                             f"{j['structure_cache_misses']}m")
+                miss = "  DEADLINE MISSED" if j["deadline_missed"] else ""
+                print(f"  #{j['id']:<4} {j['kernel']:<26} {j['state']:<10} "
+                      f"{fmt_count(j['tiles_run'])}/{fmt_count(j['tiles'])} tiles  "
+                      f"wait {j['queue_wait_ns'] / 1e6:.3f} ms  "
+                      f"run {j['run_ns'] / 1e6:.3f} ms{cache}{miss}")
+        else:
+            print(f"\njobs: unavailable ({jobs.get('source', '?')})")
+
     if doc["metrics"]:
         print("\nmetrics:")
         for m in doc["metrics"]:
@@ -405,6 +481,10 @@ def main():
                         help="with --validate: fail a run report whose "
                              "locality section is unavailable (no reuse-"
                              "distance profiles were published)")
+    parser.add_argument("--require-jobs", action="store_true",
+                        help="with --validate: fail a run report whose jobs "
+                             "section is unavailable (no exec::JobGraph job "
+                             "ran while the trace session was active)")
     args = parser.parse_args()
 
     failures = 0
@@ -422,6 +502,8 @@ def main():
                     validate_brick_cache(doc, path, required=True)
                 if args.require_locality and kind == "report":
                     validate_locality(doc, path, required=True)
+                if args.require_jobs and kind == "report":
+                    validate_jobs(doc, path, required=True)
                 print(f"[trace_summary] OK: {path} ({kind})")
             except ValidationError as e:
                 print(f"[trace_summary] FAIL: {e}", file=sys.stderr)
